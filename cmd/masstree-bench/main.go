@@ -1,0 +1,53 @@
+// Command masstree-bench regenerates the paper's tables and figures
+// (DESIGN.md's experiment index). Each experiment prints a text table whose
+// rows mirror the paper's bars, series, or cells.
+//
+// Usage:
+//
+//	masstree-bench -run all
+//	masstree-bench -run fig8,fig11 -keys 500000 -ops 1000000 -workers 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "comma-separated experiment ids, or 'all' (ids: "+strings.Join(bench.IDs, ", ")+")")
+		keys    = flag.Int("keys", 0, "dataset size (0 = default)")
+		ops     = flag.Int("ops", 0, "measured operations (0 = default)")
+		workers = flag.Int("workers", 0, "load-generating workers (0 = GOMAXPROCS)")
+		batch   = flag.Int("batch", 0, "ops per client message in system benchmarks (0 = default)")
+	)
+	flag.Parse()
+
+	sc := bench.Scale{Keys: *keys, Ops: *ops, Workers: *workers, Batch: *batch}
+	ids := bench.IDs
+	if *run != "all" {
+		ids = nil
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := bench.Registry[id]; !ok {
+				fmt.Fprintf(os.Stderr, "masstree-bench: unknown experiment %q (have: %s)\n", id, strings.Join(bench.IDs, ", "))
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	fmt.Printf("masstree-bench: GOMAXPROCS=%d, %s\n\n", runtime.GOMAXPROCS(0), time.Now().Format(time.RFC3339))
+	for _, id := range ids {
+		start := time.Now()
+		tbl := bench.Registry[id](sc)
+		fmt.Print(tbl.Render())
+		fmt.Printf("(%s elapsed)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,125 @@
+// Command masstree-client is a command-line client for masstree-server.
+//
+// Usage:
+//
+//	masstree-client -addr host:7500 get KEY [COL...]
+//	masstree-client -addr host:7500 put KEY VALUE
+//	masstree-client -addr host:7500 putcol KEY COL VALUE [COL VALUE...]
+//	masstree-client -addr host:7500 del KEY
+//	masstree-client -addr host:7500 scan START N
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"repro/internal/client"
+	"repro/internal/wire"
+)
+
+func main() {
+	var addr = flag.String("addr", "127.0.0.1:7500", "server address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+	c, err := client.Dial(*addr)
+	if err != nil {
+		log.Fatalf("masstree-client: %v", err)
+	}
+	defer c.Close()
+
+	switch args[0] {
+	case "get":
+		if len(args) < 2 {
+			usage()
+		}
+		var cols []int
+		for _, a := range args[2:] {
+			n, err := strconv.Atoi(a)
+			if err != nil {
+				log.Fatalf("masstree-client: bad column %q", a)
+			}
+			cols = append(cols, n)
+		}
+		vals, ok, err := c.Get([]byte(args[1]), cols)
+		check(err)
+		if !ok {
+			fmt.Println("(not found)")
+			os.Exit(1)
+		}
+		for i, v := range vals {
+			fmt.Printf("col %d: %q\n", i, v)
+		}
+	case "put":
+		if len(args) != 3 {
+			usage()
+		}
+		ver, err := c.PutSimple([]byte(args[1]), []byte(args[2]))
+		check(err)
+		fmt.Printf("ok (version %d)\n", ver)
+	case "putcol":
+		if len(args) < 4 || len(args)%2 != 0 {
+			usage()
+		}
+		var puts []wire.ColData
+		for i := 2; i < len(args); i += 2 {
+			col, err := strconv.Atoi(args[i])
+			if err != nil {
+				log.Fatalf("masstree-client: bad column %q", args[i])
+			}
+			puts = append(puts, wire.ColData{Col: col, Data: []byte(args[i+1])})
+		}
+		ver, err := c.Put([]byte(args[1]), puts)
+		check(err)
+		fmt.Printf("ok (version %d)\n", ver)
+	case "del":
+		if len(args) != 2 {
+			usage()
+		}
+		existed, err := c.Remove([]byte(args[1]))
+		check(err)
+		fmt.Println("removed:", existed)
+	case "scan":
+		if len(args) != 3 {
+			usage()
+		}
+		n, err := strconv.Atoi(args[2])
+		check(err)
+		pairs, err := c.GetRange([]byte(args[1]), n, nil)
+		check(err)
+		for _, p := range pairs {
+			fmt.Printf("%q: %q\n", p.Key, p.Cols)
+		}
+	case "stats":
+		stats, err := c.Stats()
+		check(err)
+		for _, name := range []string{"keys", "splits", "layer_creations", "layer_collapses",
+			"node_deletes", "root_retries", "local_retries", "slot_reuses"} {
+			fmt.Printf("%-16s %d\n", name, stats[name])
+		}
+	default:
+		usage()
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatalf("masstree-client: %v", err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: masstree-client [-addr host:port] COMMAND
+  get KEY [COL...]             read a key (optionally specific columns)
+  put KEY VALUE                write column 0
+  putcol KEY COL VALUE [...]   write specific columns atomically
+  del KEY                      remove a key
+  scan START N                 range query: up to N pairs from START
+  stats                        server statistics (tree counters)`)
+	os.Exit(2)
+}

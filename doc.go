@@ -1,0 +1,10 @@
+// Package repro reproduces "Cache Craftiness for Fast Multicore Key-Value
+// Storage" (Mao, Kohler, Morris — EuroSys 2012): the Masstree in-memory
+// key-value store, its substrates (logging, checkpointing, networking), the
+// paper's baseline data structures, and a benchmark harness that regenerates
+// every table and figure of the paper's evaluation.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results. The implementation lives under internal/; runnable entry points
+// are under cmd/ and examples/.
+package repro

@@ -1,0 +1,52 @@
+// Quickstart: the Masstree store's four operations (§3) used as an embedded
+// library — get, put (with columns), remove, and getrange.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/kvstore"
+	"repro/internal/value"
+)
+
+func main() {
+	// An in-memory store (no persistence directory).
+	store, err := kvstore.Open(kvstore.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	// put(k, v): values are arrays of columns; a put of several columns is
+	// atomic with respect to concurrent readers (§4.7).
+	store.Put(0, []byte("user:alice"), []value.ColPut{
+		{Col: 0, Data: []byte("Alice")},
+		{Col: 1, Data: []byte("alice@example.org")},
+	})
+	store.PutSimple(0, []byte("user:bob"), []byte("Bob"))
+	store.PutSimple(0, []byte("user:carol"), []byte("Carol"))
+
+	// get(k) with a column subset.
+	cols, ok := store.Get([]byte("user:alice"), []int{1})
+	fmt.Printf("alice email: %q (found=%v)\n", cols[0], ok)
+
+	// Arbitrary binary keys are fine — including embedded NULs and long
+	// shared prefixes, Masstree's specialty (§4.1).
+	store.PutSimple(0, []byte("bin\x00key"), []byte("binary!"))
+	v, _ := store.Get([]byte("bin\x00key"), nil)
+	fmt.Printf("binary key: %q\n", v[0])
+
+	// getrange(k, n): ordered traversal from a start key (§3).
+	fmt.Println("users in order:")
+	for _, pair := range store.GetRange([]byte("user:"), 10, []int{0}) {
+		fmt.Printf("  %s = %s\n", pair.Key, pair.Cols[0])
+	}
+
+	// remove(k).
+	store.Remove(0, []byte("user:bob"))
+	_, ok = store.Get([]byte("user:bob"), nil)
+	fmt.Printf("bob after remove: found=%v\n", ok)
+}

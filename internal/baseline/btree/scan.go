@@ -1,0 +1,74 @@
+package btree
+
+import (
+	"bytes"
+	"sync/atomic"
+
+	"repro/internal/baseline/occ"
+	"repro/internal/value"
+)
+
+// Scan visits keys >= start in order until fn returns false. Like
+// Masstree's getrange it is not atomic: each border node is snapshotted
+// under version validation and the border list is followed rightward.
+func (t *Tree) Scan(start []byte, fn func(key []byte, v *value.Value) bool) {
+	n, v := findBorder(t.root.Load(), start)
+	resume := start
+	inclusive := true
+	type ent struct {
+		k []byte
+		v *value.Value
+	}
+	var ents []ent
+	for {
+		ents = ents[:0]
+		ok := true
+		p := perm(n.permutation.Load())
+		cnt := t.liveCount(n, p)
+		if cnt < 0 || cnt > width {
+			ok = false
+		}
+		for rank := 0; ok && rank < cnt; rank++ {
+			slot := t.slotOf(n, p, rank)
+			bk := n.keys[slot].Load()
+			vp := atomic.LoadPointer(&n.vals[slot])
+			if bk == nil || vp == nil {
+				ok = false
+				break
+			}
+			ents = append(ents, ent{k: append([]byte(nil), bk.bytes()...), v: (*value.Value)(vp)})
+		}
+		next := n.next.Load()
+		if v2 := n.h.version.Load(); !ok || occ.Changed(v2, v) {
+			v = n.h.version.Stable()
+			continue
+		}
+		for _, e := range ents {
+			if resume != nil {
+				if c := bytes.Compare(e.k, resume); c < 0 || (c == 0 && !inclusive) {
+					continue
+				}
+			}
+			if !fn(e.k, e.v) {
+				return
+			}
+			resume = e.k
+			inclusive = false
+		}
+		if next == nil {
+			return
+		}
+		n = next
+		v = n.h.version.Stable()
+	}
+}
+
+// GetRange returns up to n pairs from the first key >= start.
+func (t *Tree) GetRange(start []byte, n int) (keys [][]byte, vals []*value.Value) {
+	t.Scan(start, func(k []byte, v *value.Value) bool {
+		keys = append(keys, k)
+		vals = append(vals, v)
+		return len(keys) < n
+	})
+	return keys, vals
+}

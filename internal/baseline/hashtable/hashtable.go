@@ -1,0 +1,128 @@
+// Package hashtable implements the concurrent hash table the paper built
+// "in the Masstree framework" to price range-query support (§6.4): hash
+// tables have O(1) average lookups but cannot scan in key order, and the
+// paper's table reached 2.5x Masstree's throughput on an 8-byte-key get
+// workload.
+//
+// The table is open-coded and sized at construction (the paper's table ran
+// at 30% occupancy and inspected 1.1 entries per lookup; there is no
+// resize). Buckets are prepend-only chains of immutable entries with
+// atomically-swapped value pointers: gets are lock-free and write no shared
+// memory, inserts CAS the bucket head, and removes tombstone the value.
+package hashtable
+
+import (
+	"bytes"
+	"hash/fnv"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/value"
+)
+
+// Table is a fixed-capacity concurrent hash table.
+type Table struct {
+	buckets []atomic.Pointer[entry]
+	mask    uint64
+	count   atomic.Int64
+}
+
+// entry is one chain link. key and next are immutable after publication;
+// val is swapped atomically and nil means removed.
+type entry struct {
+	key  []byte
+	val  unsafe.Pointer
+	next *entry
+}
+
+// New creates a table with at least the given number of buckets (rounded up
+// to a power of two). Size for ~30% occupancy like the paper: buckets ≈
+// 3x the expected key count.
+func New(buckets int) *Table {
+	n := 1
+	for n < buckets {
+		n <<= 1
+	}
+	return &Table{buckets: make([]atomic.Pointer[entry], n), mask: uint64(n - 1)}
+}
+
+func (t *Table) bucket(key []byte) *atomic.Pointer[entry] {
+	h := fnv.New64a()
+	h.Write(key)
+	return &t.buckets[h.Sum64()&t.mask]
+}
+
+// Get returns the value for key; lock-free, no shared-memory writes.
+func (t *Table) Get(key []byte) (*value.Value, bool) {
+	for e := t.bucket(key).Load(); e != nil; e = e.next {
+		if bytes.Equal(e.key, key) {
+			v := (*value.Value)(atomic.LoadPointer(&e.val))
+			if v == nil {
+				return nil, false
+			}
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Put stores v for key, reporting whether a live value was replaced.
+func (t *Table) Put(key []byte, v *value.Value) bool {
+	b := t.bucket(key)
+	for {
+		head := b.Load()
+		for e := head; e != nil; e = e.next {
+			if bytes.Equal(e.key, key) {
+				old := atomic.SwapPointer(&e.val, unsafe.Pointer(v))
+				if old == nil {
+					t.count.Add(1)
+					return false
+				}
+				return true
+			}
+		}
+		ne := &entry{key: append([]byte(nil), key...), val: unsafe.Pointer(v), next: head}
+		if b.CompareAndSwap(head, ne) {
+			t.count.Add(1)
+			return false
+		}
+		// Lost the prepend race; rescan in case the winner inserted our key.
+	}
+}
+
+// Remove tombstones key, reporting whether it was present.
+func (t *Table) Remove(key []byte) bool {
+	for e := t.bucket(key).Load(); e != nil; e = e.next {
+		if bytes.Equal(e.key, key) {
+			if atomic.SwapPointer(&e.val, nil) != nil {
+				t.count.Add(-1)
+				return true
+			}
+			return false
+		}
+	}
+	return false
+}
+
+// Len returns the number of live keys.
+func (t *Table) Len() int { return int(t.count.Load()) }
+
+// AvgProbe reports the mean chain position of live entries (the paper's
+// "1.1 entries inspected per lookup" statistic). For tests and stats.
+func (t *Table) AvgProbe() float64 {
+	entries, probes := 0, 0
+	for i := range t.buckets {
+		pos := 0
+		for e := t.buckets[i].Load(); e != nil; e = e.next {
+			pos++
+			if atomic.LoadPointer(&e.val) != nil {
+				entries++
+				probes += pos
+			}
+		}
+	}
+	if entries == 0 {
+		return 0
+	}
+	return float64(probes) / float64(entries)
+}

@@ -1,0 +1,107 @@
+package hashtable
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestModel(t *testing.T) {
+	tb := New(4096)
+	model := map[string]string{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("%d", rng.Intn(2000))
+		switch rng.Intn(4) {
+		case 0, 1:
+			v := fmt.Sprintf("v%d", i)
+			replaced := tb.Put([]byte(k), value.New([]byte(v)))
+			if _, had := model[k]; had != replaced {
+				t.Fatalf("put %q replaced=%v want %v", k, replaced, had)
+			}
+			model[k] = v
+		case 2:
+			v, ok := tb.Get([]byte(k))
+			want, wantOK := model[k]
+			if ok != wantOK || (ok && string(v.Bytes()) != want) {
+				t.Fatalf("get %q mismatch", k)
+			}
+		case 3:
+			ok := tb.Remove([]byte(k))
+			if _, had := model[k]; had != ok {
+				t.Fatalf("remove %q = %v want %v", k, ok, had)
+			}
+			delete(model, k)
+		}
+		if tb.Len() != len(model) {
+			t.Fatalf("len %d vs %d", tb.Len(), len(model))
+		}
+	}
+}
+
+func TestLowOccupancyProbes(t *testing.T) {
+	// At the paper's ~30% occupancy, lookups inspect ~1.1 entries.
+	const n = 10000
+	tb := New(n * 3)
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%08d", i))
+		tb.Put(k, value.New(k))
+	}
+	if p := tb.AvgProbe(); p > 1.3 {
+		t.Fatalf("average probe length %.3f, expected ~1.1", p)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	tb := New(1 << 16)
+	var wg sync.WaitGroup
+	const workers, per = 4, 5000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := []byte(fmt.Sprintf("w%d-%05d", w, i))
+				tb.Put(k, value.New(k))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tb.Len() != workers*per {
+		t.Fatalf("len %d want %d", tb.Len(), workers*per)
+	}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < per; i++ {
+			k := []byte(fmt.Sprintf("w%d-%05d", w, i))
+			if v, ok := tb.Get(k); !ok || string(v.Bytes()) != string(k) {
+				t.Fatalf("lost %q", k)
+			}
+		}
+	}
+}
+
+func TestRemoveReinsert(t *testing.T) {
+	tb := New(64)
+	k := []byte("key")
+	tb.Put(k, value.New([]byte("1")))
+	if !tb.Remove(k) {
+		t.Fatal("remove failed")
+	}
+	if tb.Remove(k) {
+		t.Fatal("double remove succeeded")
+	}
+	if _, ok := tb.Get(k); ok {
+		t.Fatal("tombstoned key visible")
+	}
+	tb.Put(k, value.New([]byte("2")))
+	v, ok := tb.Get(k)
+	if !ok || string(v.Bytes()) != "2" {
+		t.Fatal("reinsert failed")
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("len %d", tb.Len())
+	}
+}

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsSmoke runs every experiment at tiny scale, checking the
+// tables are structurally complete (every row has a cell per header, no
+// empty cells).
+func TestAllExperimentsSmoke(t *testing.T) {
+	sc := SmokeScale()
+	for _, id := range IDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tbl := Registry[id](sc)
+			if tbl.ID != id {
+				t.Fatalf("table id %q", tbl.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Headers) {
+					t.Fatalf("row %v has %d cells, want %d", row, len(row), len(tbl.Headers))
+				}
+				for _, c := range row {
+					if strings.TrimSpace(c) == "" {
+						t.Fatalf("empty cell in row %v", row)
+					}
+				}
+			}
+			out := tbl.Render()
+			if !strings.Contains(out, tbl.Title) {
+				t.Fatal("render missing title")
+			}
+		})
+	}
+}
+
+func TestFig13CapabilityCells(t *testing.T) {
+	tbl := Fig13(SmokeScale())
+	// memcached-like column must be n/a for MYCSB-A/B/E; redis-like n/a for E.
+	find := func(name string) []string {
+		for _, r := range tbl.Rows {
+			if r[0] == name {
+				return r
+			}
+		}
+		t.Fatalf("row %q missing", name)
+		return nil
+	}
+	memcachedCol := len(tbl.Headers) - 1
+	redisCol := len(tbl.Headers) - 2
+	if find("MYCSB-A")[memcachedCol] != "n/a" || find("MYCSB-B")[memcachedCol] != "n/a" {
+		t.Fatal("memcached-like should not run MYCSB-A/B")
+	}
+	if find("MYCSB-E")[memcachedCol] != "n/a" || find("MYCSB-E")[redisCol] != "n/a" {
+		t.Fatal("hash stores should not run MYCSB-E")
+	}
+	if find("MYCSB-E")[1] == "n/a" {
+		t.Fatal("Masstree must run MYCSB-E")
+	}
+}
+
+func TestDefaultScaleFill(t *testing.T) {
+	sc := Scale{}.withDefaults()
+	if sc.Keys == 0 || sc.Ops == 0 || sc.Workers == 0 || sc.Batch == 0 {
+		t.Fatalf("defaults not applied: %+v", sc)
+	}
+}

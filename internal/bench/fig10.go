@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// Fig10 reproduces Figure 10 (§6.5 scalability): per-core throughput of get
+// and put workloads as the worker count grows. Ideal scalability is a flat
+// line; the paper reaches 12.7x/12.5x at 16 cores, limited by growing DRAM
+// stall time. Worker counts beyond GOMAXPROCS are oversubscribed and noted.
+func Fig10(sc Scale) *Table {
+	sc = sc.withDefaults()
+	t := &Table{
+		ID:      "fig10",
+		Title:   fmt.Sprintf("scalability, %d keys (Figure 10)", sc.Keys),
+		Headers: []string{"workers", "get Mreq/s/worker", "put Mreq/s/worker", "get total", "put total"},
+		Notes: []string{
+			fmt.Sprintf("GOMAXPROCS=%d; rows beyond that oversubscribe the scheduler", runtime.GOMAXPROCS(0)),
+		},
+	}
+	maxW := sc.Workers
+	if maxW < runtime.GOMAXPROCS(0) {
+		maxW = runtime.GOMAXPROCS(0)
+	}
+	for workers := 1; workers <= maxW; workers *= 2 {
+		keysPerWorker := sc.Keys / workers
+		keys := make([][][]byte, workers)
+		for w := range keys {
+			keys[w] = workload.Keys(workload.Decimal(int64(500+w)), keysPerWorker)
+		}
+		tr := core.New()
+		putTput := measure(workers, keysPerWorker, func(w, i int) {
+			k := keys[w][i]
+			tr.Put(k, value.New(k))
+		})
+		getTput := measure(workers, sc.Ops/workers, func(w, i int) {
+			tr.Get(keys[w][(i*61)%keysPerWorker])
+		})
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", workers),
+			mops(getTput / float64(workers)), mops(putTput / float64(workers)),
+			mops(getTput), mops(putTput),
+		})
+		if workers == maxW {
+			break
+		}
+		if workers*2 > maxW {
+			workers = maxW / 2 // land exactly on maxW next iteration
+		}
+	}
+	return t
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/baseline/partition"
+	"repro/internal/core"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// Fig11 reproduces Figure 11 (§6.6 partitioning and skew): get throughput of
+// shared Masstree versus hard-partitioned Masstree as request skew grows.
+// Skew follows Hua–Lee's single parameter delta: P-1 partitions receive
+// equal load and the last receives delta times more. The partitioned
+// store's hot instance saturates (its clients queue), throttling the whole
+// system, while Masstree's shared tree absorbs the skew.
+//
+// The paper runs 16 partitions on 16 cores — one core each, so the hot
+// partition can absorb at most 1/16 of the machine. The partition count
+// here scales with GOMAXPROCS for the same reason: with more partitions
+// than cores, goroutine executors are not core-bound and the bottleneck the
+// experiment measures cannot form.
+func Fig11(sc Scale) *Table {
+	sc = sc.withDefaults()
+	fig11Partitions := runtime.GOMAXPROCS(0)
+	if fig11Partitions < 2 {
+		fig11Partitions = 2
+	}
+	t := &Table{
+		ID:      "fig11",
+		Title:   fmt.Sprintf("skew tolerance, %d keys, %d partitions (Figure 11)", sc.Keys, fig11Partitions),
+		Headers: []string{"delta", "Masstree Mreq/s", "hard-partitioned Mreq/s", "partitioned/shared"},
+		Notes: []string{
+			fmt.Sprintf("hard-partitioned = %d single-core Masstree instances (one per core, as in the paper) behind single-threaded executors, batched dispatch", fig11Partitions),
+			"clients preserve the skew ratio, so a saturated hot partition throttles total throughput (§6.6)",
+			fmt.Sprintf("at delta=9 the hot partition receives %.0f%% of requests", 100*10.0/float64(fig11Partitions+9)),
+		},
+	}
+
+	// Pre-build per-partition key sets: keys are assigned by hash so both
+	// systems see identical key->partition mapping.
+	ps := partition.New(fig11Partitions, 8)
+	defer ps.Close()
+	perPart := make([][][]byte, fig11Partitions)
+	mt := core.New()
+	gen := workload.Decimal(42)
+	for n := 0; n < sc.Keys; n++ {
+		k := gen.Next()
+		p := ps.PartitionFor(k)
+		perPart[p] = append(perPart[p], k)
+		v := value.New(k)
+		mt.Put(k, v)
+		ps.Do(p, []partition.Op{{Kind: partition.OpPut, Key: k, Value: v}})
+	}
+
+	for delta := 0; delta <= 9; delta++ {
+		batches := sc.Ops / sc.Workers / sc.Batch
+		if batches == 0 {
+			batches = 1
+		}
+
+		// Shared Masstree: workers draw keys with the same partition-skewed
+		// popularity; the shared tree does not care (flat line).
+		skews := make([]*workload.PartitionSkew, sc.Workers)
+		for w := range skews {
+			skews[w] = workload.NewPartitionSkew(int64(w+1), fig11Partitions, float64(delta))
+		}
+		mtTput := measure(sc.Workers, batches*sc.Batch, func(w, i int) {
+			p := skews[w].Next()
+			keys := perPart[p]
+			if len(keys) == 0 {
+				return
+			}
+			mt.Get(keys[(i*61)%len(keys)])
+		})
+
+		// Hard-partitioned: each client message is a batch addressed to one
+		// partition, chosen with skew; blocking dispatch preserves the ratio.
+		for w := range skews {
+			skews[w] = workload.NewPartitionSkew(int64(w+1), fig11Partitions, float64(delta))
+		}
+		ops := make([][]partition.Op, sc.Workers)
+		for w := range ops {
+			ops[w] = make([]partition.Op, sc.Batch)
+		}
+		hpTput := measure(sc.Workers, batches, func(w, i int) {
+			p := skews[w].Next()
+			keys := perPart[p]
+			if len(keys) == 0 {
+				return
+			}
+			batch := ops[w]
+			for j := range batch {
+				batch[j] = partition.Op{Kind: partition.OpGet, Key: keys[(i*sc.Batch+j)%len(keys)]}
+			}
+			ps.Do(p, batch)
+		}) * float64(sc.Batch)
+
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", delta), mops(mtTput), mops(hpTput), ratio(hpTput, mtTput),
+		})
+	}
+	return t
+}

@@ -1,0 +1,25 @@
+package bench
+
+// Fig12 reproduces Figure 12, the table of tested servers and client
+// libraries. In this reproduction the comparators are in-process
+// architectural stand-ins (internal/othersys), so the table reports each
+// stand-in's modeled configuration: shard/executor counts, client batching,
+// and range-query support — the properties §7's analysis attributes the
+// results to.
+func Fig12(Scale) *Table {
+	return &Table{
+		ID:      "fig12",
+		Title:   "comparator configurations (Figure 12, adapted to the stand-ins)",
+		Headers: []string{"server", "models", "executors", "batched get", "batched put", "range query", "persistence"},
+		Rows: [][]string{
+			{"Masstree", "this work", "shared tree, N workers", "yes", "yes", "yes", "logs + checkpoints"},
+			{"mongodb-like", "MongoDB 2.0", "8 shards, global RW lock", "no", "no", "yes", "none (paper: in-memory fs)"},
+			{"voltdb-like", "VoltDB 2.0", "16 single-threaded sites", "yes", "yes", "yes (multi-partition)", "none (replication off)"},
+			{"redis-like", "Redis 2.4.5", "16 single-threaded shards", "yes", "yes", "no", "append-only log"},
+			{"memcached-like", "memcached 1.4.8", "16 single-threaded shards", "yes", "no", "no", "none"},
+		},
+		Notes: []string{
+			"see internal/othersys package documentation and DESIGN.md substitution #2",
+		},
+	}
+}

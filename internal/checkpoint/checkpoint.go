@@ -1,0 +1,279 @@
+// Package checkpoint implements Masstree's checkpoint facility (§5):
+// periodic dumps of all keys and values that speed recovery and allow log
+// space to be reclaimed.
+//
+// Checkpoints are fuzzy: they run in parallel with request processing by
+// scanning the tree's immutable value objects, and they record the timestamp
+// at which they began. Recovery loads the latest valid checkpoint and then
+// replays logs; because every value carries a version (== log timestamp) and
+// replay applies each key's updates in increasing version order with a
+// version guard, overlap between checkpoint contents and retained log
+// records is harmless.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"repro/internal/value"
+)
+
+var (
+	fileMagic = []byte("MTCKPT1\n")
+	fileEnd   = []byte("MTCKEND\n")
+
+	// ErrNone reports that no valid checkpoint exists.
+	ErrNone = errors.New("checkpoint: none found")
+	// ErrCorrupt reports an invalid or truncated checkpoint file.
+	ErrCorrupt = errors.New("checkpoint: corrupt")
+)
+
+var nameRE = regexp.MustCompile(`^ckpt-(\d{20})\.ckpt$`)
+
+// FileName names the checkpoint that began at timestamp ts.
+func FileName(ts uint64) string { return fmt.Sprintf("ckpt-%020d.ckpt", ts) }
+
+// Entry is one key-value pair in a checkpoint.
+type Entry struct {
+	Key   []byte
+	Value *value.Value
+}
+
+// Write streams a checkpoint that began at timestamp startTS into dir,
+// reading entries from next until it returns false. The file is written to a
+// temporary name and atomically renamed, so a crash mid-checkpoint leaves no
+// partially-visible checkpoint.
+func Write(dir string, startTS uint64, next func() (Entry, bool)) (path string, n int, err error) {
+	tmp, err := os.CreateTemp(dir, "ckpt-*.tmp")
+	if err != nil {
+		return "", 0, err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	crc := crc32.NewIEEE()
+	w := bufio.NewWriterSize(io.MultiWriter(tmp, crc), 1<<20)
+	if _, err = w.Write(fileMagic); err != nil {
+		return "", 0, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], startTS)
+	if _, err = w.Write(hdr[:]); err != nil {
+		return "", 0, err
+	}
+	count := 0
+	for {
+		e, ok := next()
+		if !ok {
+			break
+		}
+		if err = writeEntry(w, e); err != nil {
+			return "", 0, err
+		}
+		count++
+	}
+	// Footer: count, crc of everything before the footer, end magic.
+	var foot [12]byte
+	binary.LittleEndian.PutUint64(foot[:8], uint64(count))
+	if _, err = w.Write(foot[:8]); err != nil {
+		return "", 0, err
+	}
+	if err = w.Flush(); err != nil {
+		return "", 0, err
+	}
+	sum := crc.Sum32()
+	binary.LittleEndian.PutUint32(foot[8:], sum)
+	if _, err = tmp.Write(foot[8:]); err != nil {
+		return "", 0, err
+	}
+	if _, err = tmp.Write(fileEnd); err != nil {
+		return "", 0, err
+	}
+	if err = tmp.Sync(); err != nil {
+		return "", 0, err
+	}
+	if err = tmp.Close(); err != nil {
+		return "", 0, err
+	}
+	final := filepath.Join(dir, FileName(startTS))
+	if err = os.Rename(tmp.Name(), final); err != nil {
+		return "", 0, err
+	}
+	return final, count, nil
+}
+
+func writeEntry(w *bufio.Writer, e Entry) error {
+	var buf [10]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(e.Key)))
+	if _, err := w.Write(buf[:4]); err != nil {
+		return err
+	}
+	if _, err := w.Write(e.Key); err != nil {
+		return err
+	}
+	var vh [10]byte
+	binary.LittleEndian.PutUint64(vh[:8], e.Value.Version())
+	binary.LittleEndian.PutUint16(vh[8:], uint16(e.Value.NumCols()))
+	if _, err := w.Write(vh[:]); err != nil {
+		return err
+	}
+	for i := 0; i < e.Value.NumCols(); i++ {
+		col := e.Value.Col(i)
+		binary.LittleEndian.PutUint32(buf[:4], uint32(len(col)))
+		if _, err := w.Write(buf[:4]); err != nil {
+			return err
+		}
+		if _, err := w.Write(col); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Info describes one on-disk checkpoint.
+type Info struct {
+	Path    string
+	StartTS uint64
+}
+
+// List returns the checkpoints in dir, oldest first.
+func List(dir string) ([]Info, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Info
+	for _, e := range ents {
+		m := nameRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		ts, _ := strconv.ParseUint(m[1], 10, 64)
+		out = append(out, Info{Path: filepath.Join(dir, e.Name()), StartTS: ts})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartTS < out[j].StartTS })
+	return out, nil
+}
+
+// LoadLatest loads the newest valid checkpoint in dir, streaming entries to
+// apply. It returns the checkpoint's start timestamp, or ErrNone if no valid
+// checkpoint exists. Invalid (torn) checkpoints are skipped in favor of
+// older valid ones.
+func LoadLatest(dir string, apply func(Entry)) (startTS uint64, err error) {
+	infos, err := List(dir)
+	if err != nil {
+		return 0, err
+	}
+	for i := len(infos) - 1; i >= 0; i-- {
+		ts, loadErr := Load(infos[i].Path, apply)
+		if loadErr == nil {
+			return ts, nil
+		}
+		if !errors.Is(loadErr, ErrCorrupt) {
+			return 0, loadErr
+		}
+	}
+	return 0, ErrNone
+}
+
+// Load reads one checkpoint file, validating its footer before applying any
+// entries (a checkpoint is all-or-nothing).
+func Load(path string, apply func(Entry)) (startTS uint64, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	if len(b) < len(fileMagic)+8+8+4+len(fileEnd) {
+		return 0, fmt.Errorf("%w: short file", ErrCorrupt)
+	}
+	if string(b[:len(fileMagic)]) != string(fileMagic) {
+		return 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if string(b[len(b)-len(fileEnd):]) != string(fileEnd) {
+		return 0, fmt.Errorf("%w: missing end marker", ErrCorrupt)
+	}
+	crcOff := len(b) - len(fileEnd) - 4
+	wantCRC := binary.LittleEndian.Uint32(b[crcOff:])
+	if crc32.ChecksumIEEE(b[:crcOff]) != wantCRC {
+		return 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	body := b[len(fileMagic):crcOff]
+	if len(body) < 16 {
+		return 0, fmt.Errorf("%w: short body", ErrCorrupt)
+	}
+	startTS = binary.LittleEndian.Uint64(body[:8])
+	count := binary.LittleEndian.Uint64(body[len(body)-8:])
+	body = body[8 : len(body)-8]
+	for i := uint64(0); i < count; i++ {
+		var e Entry
+		var n int
+		e, n, err = parseEntry(body)
+		if err != nil {
+			return 0, err
+		}
+		apply(e)
+		body = body[n:]
+	}
+	if len(body) != 0 {
+		return 0, fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+	}
+	return startTS, nil
+}
+
+func parseEntry(b []byte) (Entry, int, error) {
+	if len(b) < 4 {
+		return Entry{}, 0, fmt.Errorf("%w: short entry", ErrCorrupt)
+	}
+	klen := int(binary.LittleEndian.Uint32(b))
+	p := 4
+	if len(b) < p+klen+10 {
+		return Entry{}, 0, fmt.Errorf("%w: short entry", ErrCorrupt)
+	}
+	key := append([]byte(nil), b[p:p+klen]...)
+	p += klen
+	version := binary.LittleEndian.Uint64(b[p:])
+	ncols := int(binary.LittleEndian.Uint16(b[p+8:]))
+	p += 10
+	cols := make([][]byte, ncols)
+	for i := 0; i < ncols; i++ {
+		if len(b) < p+4 {
+			return Entry{}, 0, fmt.Errorf("%w: short column", ErrCorrupt)
+		}
+		clen := int(binary.LittleEndian.Uint32(b[p:]))
+		p += 4
+		if len(b) < p+clen {
+			return Entry{}, 0, fmt.Errorf("%w: short column data", ErrCorrupt)
+		}
+		cols[i] = append([]byte(nil), b[p:p+clen]...)
+		p += clen
+	}
+	return Entry{Key: key, Value: value.NewAt(version, cols...)}, p, nil
+}
+
+// Drop removes all checkpoints older than the one at keepTS.
+func Drop(dir string, keepTS uint64) error {
+	infos, err := List(dir)
+	if err != nil {
+		return err
+	}
+	for _, in := range infos {
+		if in.StartTS < keepTS {
+			if err := os.Remove(in.Path); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

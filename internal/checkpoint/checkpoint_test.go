@@ -1,0 +1,153 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func entries(n int) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		out[i] = Entry{
+			Key:   []byte(fmt.Sprintf("key%05d", i)),
+			Value: value.NewAt(uint64(i+1), []byte(fmt.Sprintf("v%d", i)), []byte("col1")),
+		}
+	}
+	return out
+}
+
+func writeAll(t *testing.T, dir string, startTS uint64, es []Entry) string {
+	t.Helper()
+	i := 0
+	path, n, err := Write(dir, startTS, func() (Entry, bool) {
+		if i >= len(es) {
+			return Entry{}, false
+		}
+		e := es[i]
+		i++
+		return e, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(es) {
+		t.Fatalf("wrote %d entries, want %d", n, len(es))
+	}
+	return path
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	es := entries(1000)
+	writeAll(t, dir, 42, es)
+
+	var got []Entry
+	ts, err := LoadLatest(dir, func(e Entry) { got = append(got, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts != 42 {
+		t.Fatalf("startTS = %d", ts)
+	}
+	if len(got) != len(es) {
+		t.Fatalf("loaded %d entries", len(got))
+	}
+	for i := range es {
+		if !bytes.Equal(got[i].Key, es[i].Key) {
+			t.Fatalf("entry %d key mismatch", i)
+		}
+		if got[i].Value.Version() != es[i].Value.Version() {
+			t.Fatalf("entry %d version mismatch", i)
+		}
+		if !value.Equal(got[i].Value, es[i].Value) {
+			t.Fatalf("entry %d value mismatch", i)
+		}
+	}
+}
+
+func TestEmptyCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	writeAll(t, dir, 7, nil)
+	n := 0
+	ts, err := LoadLatest(dir, func(Entry) { n++ })
+	if err != nil || ts != 7 || n != 0 {
+		t.Fatalf("ts=%d n=%d err=%v", ts, n, err)
+	}
+}
+
+func TestLoadLatestPicksNewest(t *testing.T) {
+	dir := t.TempDir()
+	writeAll(t, dir, 10, entries(5))
+	writeAll(t, dir, 20, entries(7))
+	n := 0
+	ts, err := LoadLatest(dir, func(Entry) { n++ })
+	if err != nil || ts != 20 || n != 7 {
+		t.Fatalf("ts=%d n=%d err=%v", ts, n, err)
+	}
+}
+
+func TestTornCheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	writeAll(t, dir, 10, entries(5))
+	p2 := writeAll(t, dir, 20, entries(7))
+	// Truncate the newest checkpoint: it must be skipped entirely.
+	b, _ := os.ReadFile(p2)
+	os.WriteFile(p2, b[:len(b)-5], 0o644)
+	n := 0
+	ts, err := LoadLatest(dir, func(Entry) { n++ })
+	if err != nil || ts != 10 || n != 5 {
+		t.Fatalf("ts=%d n=%d err=%v", ts, n, err)
+	}
+}
+
+func TestCorruptBodyDetected(t *testing.T) {
+	dir := t.TempDir()
+	p := writeAll(t, dir, 10, entries(100))
+	b, _ := os.ReadFile(p)
+	b[len(b)/2] ^= 0xff
+	os.WriteFile(p, b, 0o644)
+	_, err := Load(p, func(Entry) {})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	// No valid checkpoint remains.
+	if _, err := LoadLatest(dir, func(Entry) {}); !errors.Is(err, ErrNone) {
+		t.Fatalf("LoadLatest err = %v, want ErrNone", err)
+	}
+}
+
+func TestNoCheckpoint(t *testing.T) {
+	if _, err := LoadLatest(t.TempDir(), func(Entry) {}); !errors.Is(err, ErrNone) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDropOld(t *testing.T) {
+	dir := t.TempDir()
+	writeAll(t, dir, 10, entries(1))
+	writeAll(t, dir, 20, entries(1))
+	writeAll(t, dir, 30, entries(1))
+	if err := Drop(dir, 30); err != nil {
+		t.Fatal(err)
+	}
+	infos, _ := List(dir)
+	if len(infos) != 1 || infos[0].StartTS != 30 {
+		t.Fatalf("after drop: %+v", infos)
+	}
+}
+
+func TestNoTempLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	writeAll(t, dir, 10, entries(10))
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if e.Name() != FileName(10) {
+			t.Fatalf("unexpected file %s", e.Name())
+		}
+	}
+}

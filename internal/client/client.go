@@ -1,0 +1,132 @@
+// Package client is the Go client library for the Masstree server. It
+// supports batched queries — many operations per network message — which §7
+// shows is vital for throughput on small-operation workloads.
+//
+// A Client owns one TCP connection and is safe for one goroutine at a time;
+// open several clients for parallel load (the paper's benchmarks run many
+// client processes against per-core server queues).
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+
+	"repro/internal/wire"
+)
+
+// Client is a connection to a Masstree server.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 1<<16),
+		w:    bufio.NewWriterSize(conn, 1<<16),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do executes a batch of requests in one round trip and returns the
+// responses in request order.
+func (c *Client) Do(reqs []wire.Request) ([]wire.Response, error) {
+	if err := wire.WriteRequests(c.w, reqs); err != nil {
+		return nil, err
+	}
+	resps, err := wire.ReadResponses(c.r)
+	if err != nil {
+		return nil, err
+	}
+	if len(resps) != len(reqs) {
+		return nil, fmt.Errorf("client: %d responses for %d requests", len(resps), len(reqs))
+	}
+	return resps, nil
+}
+
+// Get retrieves columns of one key (nil = all). ok is false if absent.
+func (c *Client) Get(key []byte, cols []int) ([][]byte, bool, error) {
+	resps, err := c.Do([]wire.Request{{Op: wire.OpGet, Key: key, Cols: cols}})
+	if err != nil {
+		return nil, false, err
+	}
+	if resps[0].Status != wire.StatusOK {
+		return nil, false, nil
+	}
+	return resps[0].Cols, true, nil
+}
+
+// Put writes columns of one key and returns the new version.
+func (c *Client) Put(key []byte, puts []wire.ColData) (uint64, error) {
+	resps, err := c.Do([]wire.Request{{Op: wire.OpPut, Key: key, Puts: puts}})
+	if err != nil {
+		return 0, err
+	}
+	return resps[0].Version, nil
+}
+
+// PutSimple writes data as column 0 of key.
+func (c *Client) PutSimple(key, data []byte) (uint64, error) {
+	return c.Put(key, []wire.ColData{{Col: 0, Data: data}})
+}
+
+// Remove deletes one key; reports whether it existed.
+func (c *Client) Remove(key []byte) (bool, error) {
+	resps, err := c.Do([]wire.Request{{Op: wire.OpRemove, Key: key}})
+	if err != nil {
+		return false, err
+	}
+	return resps[0].Status == wire.StatusOK, nil
+}
+
+// GetRange returns up to n pairs starting at the first key >= start.
+func (c *Client) GetRange(start []byte, n int, cols []int) ([]wire.Pair, error) {
+	resps, err := c.Do([]wire.Request{{Op: wire.OpGetRange, Key: start, N: n, Cols: cols}})
+	if err != nil {
+		return nil, err
+	}
+	return resps[0].Pairs, nil
+}
+
+// Stats returns the server's metric name/value pairs.
+func (c *Client) Stats() (map[string]int64, error) {
+	resps, err := c.Do([]wire.Request{{Op: wire.OpStats}})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int64, len(resps[0].Pairs))
+	for _, p := range resps[0].Pairs {
+		n, err := strconv.ParseInt(string(p.Cols[0]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("client: bad stats value for %q: %w", p.Key, err)
+		}
+		out[string(p.Key)] = n
+	}
+	return out, nil
+}
+
+// Send writes a request batch without waiting for its responses, allowing
+// multiple batches in flight on the connection (pipelining). Each Send must
+// eventually be matched by one Recv, in order.
+func (c *Client) Send(reqs []wire.Request) error {
+	return wire.WriteRequests(c.w, reqs)
+}
+
+// Recv reads the next response batch for an earlier Send.
+func (c *Client) Recv() ([]wire.Response, error) {
+	return wire.ReadResponses(c.r)
+}

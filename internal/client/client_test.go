@@ -1,0 +1,39 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// Connection-level behavior is covered end-to-end in internal/server's
+// tests (TCP, UDP, pipelining); these tests cover the client's own error
+// paths, which need no server.
+
+func TestDialRefused(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("expected connection error")
+	}
+}
+
+func TestDialUDPBadAddr(t *testing.T) {
+	if _, err := DialUDP("not-an-address:::", time.Second); err == nil {
+		t.Fatal("expected resolve error")
+	}
+}
+
+func TestUDPTimeoutOnSilentPeer(t *testing.T) {
+	// A UDP "connection" succeeds without a listener; the request must then
+	// time out rather than hang.
+	c, err := DialUDP("127.0.0.1:9", 20*time.Millisecond) // discard port, unused
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.Do(nil); err == nil {
+		t.Fatal("expected timeout")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("timeout took too long")
+	}
+}

@@ -1,0 +1,67 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// UDPClient speaks the batch protocol over UDP to one of the server's
+// per-core ports (§5). Datagrams carry one framed batch each; requests that
+// receive no response within the timeout return an error (UDP is lossy by
+// design — the paper uses it for cheap short connections, not reliability).
+type UDPClient struct {
+	conn    *net.UDPConn
+	timeout time.Duration
+	buf     []byte
+}
+
+// DialUDP connects (in the UDP sense) to a server port.
+func DialUDP(addr string, timeout time.Duration) (*UDPClient, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, err
+	}
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	return &UDPClient{conn: conn, timeout: timeout, buf: make([]byte, 64*1024)}, nil
+}
+
+// Close closes the socket.
+func (c *UDPClient) Close() error { return c.conn.Close() }
+
+// Do executes one batch in one datagram round trip.
+func (c *UDPClient) Do(reqs []wire.Request) ([]wire.Response, error) {
+	var out bytes.Buffer
+	w := bufio.NewWriter(&out)
+	if err := wire.WriteRequests(w, reqs); err != nil {
+		return nil, err
+	}
+	if _, err := c.conn.Write(out.Bytes()); err != nil {
+		return nil, err
+	}
+	if err := c.conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+		return nil, err
+	}
+	n, err := c.conn.Read(c.buf)
+	if err != nil {
+		return nil, fmt.Errorf("client: udp response: %w", err)
+	}
+	resps, err := wire.ReadResponses(bufio.NewReader(bytes.NewReader(c.buf[:n])))
+	if err != nil {
+		return nil, err
+	}
+	if len(resps) != len(reqs) {
+		return nil, fmt.Errorf("client: %d responses for %d requests", len(resps), len(reqs))
+	}
+	return resps, nil
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestGetBatchMatchesGet(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(5))
+	var present [][]byte
+	for i := 0; i < 5000; i++ {
+		k := []byte(fmt.Sprintf("%d", rng.Intn(100000)))
+		tr.Put(k, value.New(k))
+		present = append(present, k)
+	}
+	// Batch mixing hits, misses, duplicates, and unsorted order.
+	var batch [][]byte
+	for i := 0; i < 2000; i++ {
+		switch rng.Intn(3) {
+		case 0, 1:
+			batch = append(batch, present[rng.Intn(len(present))])
+		default:
+			batch = append(batch, []byte(fmt.Sprintf("miss-%d", rng.Intn(1000))))
+		}
+	}
+	vals, found := tr.GetBatch(batch)
+	if len(vals) != len(batch) || len(found) != len(batch) {
+		t.Fatalf("result lengths %d/%d for %d keys", len(vals), len(found), len(batch))
+	}
+	for i, k := range batch {
+		wantV, wantOK := tr.Get(k)
+		if found[i] != wantOK {
+			t.Fatalf("key %q: found=%v want %v", k, found[i], wantOK)
+		}
+		if wantOK && string(vals[i].Bytes()) != string(wantV.Bytes()) {
+			t.Fatalf("key %q: wrong value", k)
+		}
+	}
+}
+
+func TestGetBatchEmpty(t *testing.T) {
+	tr := New()
+	vals, found := tr.GetBatch(nil)
+	if len(vals) != 0 || len(found) != 0 {
+		t.Fatal("empty batch should return empty results")
+	}
+}
+
+func TestGetBatchConcurrentWithWrites(t *testing.T) {
+	tr := New()
+	var stable [][]byte
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("stable%05d", i))
+		tr.Put(k, value.New(k))
+		stable = append(stable, k)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20000; i++ {
+			k := []byte(fmt.Sprintf("churn%05d", i%3000))
+			tr.Put(k, value.New(k))
+		}
+	}()
+	for round := 0; round < 20; round++ {
+		vals, found := tr.GetBatch(stable)
+		for i := range stable {
+			if !found[i] || string(vals[i].Bytes()) != string(stable[i]) {
+				t.Fatalf("batch lost stable key %q", stable[i])
+			}
+		}
+	}
+	<-done
+}

@@ -1,0 +1,75 @@
+package core
+
+// permutation is the border node's 64-bit key permutation (§4.6.2).
+//
+// The word is divided into 16 four-bit subfields. The lowest 4 bits, nkeys,
+// hold the number of live keys in the node (0–15). The remaining 15 nibbles
+// form keyindex[15], a permutation of 0..14: keyindex[0..nkeys-1] are the
+// slots of the node's live keys in increasing key order, and the remaining
+// nibbles list currently-unused slots.
+//
+// A writer inserts a key by claiming an unused slot, filling the slot's key
+// and value while it is invisible, and then publishing a new permutation with
+// a single atomic 64-bit store. Readers see either the old order without the
+// new key or the new order with it; no invalid intermediate state exists, so
+// non-split inserts need no version increment.
+type permutation uint64
+
+// emptyPermutation has zero keys and the identity free list.
+func emptyPermutation() permutation {
+	var p uint64
+	for i := 0; i < width; i++ {
+		p |= uint64(i) << (4 * uint(i+1))
+	}
+	return permutation(p)
+}
+
+// count returns the number of live keys (nkeys).
+func (p permutation) count() int { return int(p & 0xf) }
+
+// slot returns keyindex[rank]: the slot holding the key with the given rank.
+// rank may also address the free list (rank >= count).
+func (p permutation) slot(rank int) int {
+	return int(p >> (4 * uint(rank+1)) & 0xf)
+}
+
+// indexes unpacks keyindex into an array.
+func (p permutation) indexes() [width]int {
+	var a [width]int
+	for i := 0; i < width; i++ {
+		a[i] = p.slot(i)
+	}
+	return a
+}
+
+// pack builds a permutation from a keyindex array and key count.
+func pack(a [width]int, count int) permutation {
+	p := uint64(count)
+	for i := 0; i < width; i++ {
+		p |= uint64(a[i]) << (4 * uint(i+1))
+	}
+	return permutation(p)
+}
+
+// insert returns a permutation with a fresh slot inserted at the given rank,
+// shifting later keys' ranks up by one, along with the claimed slot index.
+// The permutation must not be full.
+func (p permutation) insert(rank int) (permutation, int) {
+	n := p.count()
+	a := p.indexes()
+	slot := a[n] // first free slot
+	copy(a[rank+1:n+1], a[rank:n])
+	a[rank] = slot
+	return pack(a, n+1), slot
+}
+
+// remove returns a permutation with the key at the given rank removed; its
+// slot moves to the head of the free list.
+func (p permutation) remove(rank int) permutation {
+	n := p.count()
+	a := p.indexes()
+	slot := a[rank]
+	copy(a[rank:n-1], a[rank+1:n])
+	a[n-1] = slot
+	return pack(a, n-1)
+}

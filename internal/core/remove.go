@@ -1,0 +1,327 @@
+package core
+
+import (
+	"repro/internal/value"
+)
+
+// Remove deletes key from the tree, returning the removed value (§3:
+// remove; §4.6.5). Removal just shrinks the permutation — the key and value
+// memory are not cleared, so a concurrent get may still return the removed
+// value, which is correct for overlapping operations. Border nodes that
+// become empty are unlinked and deleted, along with any resulting empty
+// interior ancestors; the initial (leftmost) node of each B+-tree is never
+// deleted. Empty trie layers are collapsed later by Maintain (the paper's
+// epoch-scheduled reclamation tasks).
+func (t *Tree) Remove(key []byte) (*value.Value, bool) {
+	return t.remove(key, nil)
+}
+
+// RemoveWith is Remove with a callback that runs under the owning border
+// node's lock just before the key is unlinked. The kvstore uses it to assign
+// the remove's log timestamp atomically with the removal, so replay order
+// matches execution order even across remove/re-insert races (§5).
+func (t *Tree) RemoveWith(key []byte, fn func(old *value.Value)) (*value.Value, bool) {
+	return t.remove(key, fn)
+}
+
+func (t *Tree) remove(key []byte, fn func(old *value.Value)) (*value.Value, bool) {
+restart:
+	root := t.rootHeader()
+	k := key
+	depth := 0
+	for {
+		slice := keySlice(k)
+		ord := keyOrd(k)
+		n, _ := t.findBorder(root, slice)
+		n.h.lock()
+		if isDeleted(n.h.version.Load()) {
+			n.h.unlock()
+			t.stats.RootRetries.Add(1)
+			goto restart
+		}
+		for {
+			next := n.next.Load()
+			if next == nil || !next.keyGEqLowkey(slice) {
+				break
+			}
+			next.h.lock()
+			n.h.unlock()
+			n = next
+			if isDeleted(n.h.version.Load()) {
+				n.h.unlock()
+				t.stats.RootRetries.Add(1)
+				goto restart
+			}
+		}
+		perm := n.perm()
+		rank, found := n.searchRank(perm, slice, ord)
+		if !found {
+			n.h.unlock()
+			return nil, false
+		}
+		slot := perm.slot(rank)
+		switch kl := n.keylen[slot].Load(); kl {
+		case klLayer:
+			lvp := n.loadLV(slot)
+			n.h.unlock()
+			root = t.resolveLayer(n, slot, lvp)
+			k = k[8:]
+			depth++
+			continue
+		case klSuffix:
+			var suf []byte
+			if sp := n.suffix[slot].Load(); sp != nil {
+				suf = *sp
+			}
+			if !bytesEqual(suf, k[8:]) {
+				n.h.unlock()
+				return nil, false
+			}
+		case klUnstable:
+			panic("core: unstable slot observed under lock")
+		}
+		old := (*value.Value)(n.loadLV(slot))
+		if fn != nil {
+			fn(old)
+		}
+		np := perm.remove(rank)
+		n.permutation.Store(uint64(np))
+		t.count.Add(-1)
+		if np.count() == 0 {
+			t.emptyBorder(n, key, depth) // unlocks n
+		} else {
+			n.h.unlock()
+		}
+		return old, true
+	}
+}
+
+// emptyBorder handles a border node that has just become empty. n is locked
+// on entry and unlocked on return. The initial leftmost node of a tree is
+// kept (it anchors lowkey = -inf); if it is the root of an empty layer-h
+// tree (h >= 1), a collapse task is scheduled instead (§4.6.5: full trees
+// are not cleaned up right away because that requires locking two layers).
+func (t *Tree) emptyBorder(n *borderNode, key []byte, depth int) {
+	if n.lowOrd < 0 {
+		if depth > 0 && isRoot(n.h.version.Load()) && n.next.Load() == nil {
+			t.scheduleCollapse(key[:depth*8])
+		}
+		n.h.unlock()
+		return
+	}
+	t.removeBorder(n)
+}
+
+// removeBorder unlinks the empty, locked, non-leftmost border node n from
+// the border list and from its parent, deleting empty interior ancestors
+// recursively. Locks are taken left-to-right and then up the tree; when that
+// order cannot be honored directly we release and revalidate, because a
+// concurrent insert may revive the node while it is unlocked.
+func (t *Tree) removeBorder(n *borderNode) {
+	var p *borderNode
+	for {
+		p = n.prev.Load()
+		if p.h.tryLock() {
+			if n.prev.Load() == p && !isDeleted(p.h.version.Load()) {
+				break
+			}
+			p.h.unlock()
+			continue
+		}
+		// Lock order is left-to-right: release n, take p then n, revalidate.
+		n.h.unlock()
+		p.h.lock()
+		n.h.lock()
+		if n.perm().count() != 0 || isDeleted(n.h.version.Load()) {
+			// Revived by a concurrent insert (or already gone): abort.
+			p.h.unlock()
+			n.h.unlock()
+			return
+		}
+		if n.prev.Load() != p || isDeleted(p.h.version.Load()) {
+			p.h.unlock()
+			continue
+		}
+		break
+	}
+
+	// Holding p's and n's locks: unlink n. next's prev pointer is protected
+	// by n's (its previous sibling's) lock, which we hold.
+	n.h.markSplitting() // range moves to p: readers must retry from the root
+	n.h.markDeleted()
+	next := n.next.Load()
+	p.next.Store(next)
+	if next != nil {
+		next.prev.Store(p)
+	}
+	p.h.unlock()
+
+	parent := n.h.lockParent()
+	n.h.unlock()
+	t.stats.NodeDeletes.Add(1)
+	if parent != nil {
+		t.removeChild(parent, &n.h)
+	}
+}
+
+// removeChild removes the given child from the locked interior node p,
+// shifting keys and children down. If p loses its last child it is deleted
+// and removed from its own parent, recursively. p is unlocked on return.
+func (t *Tree) removeChild(p *interiorNode, child *nodeHeader) {
+	nk := int(p.nkeys.Load())
+	idx := -1
+	for i := 0; i <= nk; i++ {
+		if p.child[i].Load() == child {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		// The child is no longer linked here (an interior split moved it and
+		// removal raced ahead); nothing to do.
+		p.h.unlock()
+		return
+	}
+	p.h.markSplitting() // ranges shift: force readers to retry from the root
+	if nk == 0 {
+		// Removing the only child empties p: delete p as well.
+		p.h.markDeleted()
+		gp := p.h.lockParent()
+		p.h.unlock()
+		t.stats.NodeDeletes.Add(1)
+		if gp != nil {
+			t.removeChild(gp, &p.h)
+		}
+		return
+	}
+	if idx == 0 {
+		for i := 0; i < nk-1; i++ {
+			p.keyslice[i].Store(p.keyslice[i+1].Load())
+		}
+		for i := 0; i < nk; i++ {
+			p.child[i].Store(p.child[i+1].Load())
+		}
+	} else {
+		for i := idx - 1; i < nk-1; i++ {
+			p.keyslice[i].Store(p.keyslice[i+1].Load())
+		}
+		for i := idx; i < nk; i++ {
+			p.child[i].Store(p.child[i+1].Load())
+		}
+	}
+	p.nkeys.Store(int32(nk - 1))
+	p.h.unlock()
+}
+
+// scheduleCollapse queues a maintenance task to remove the (possibly) empty
+// trie layer reached by the given key prefix (a multiple of 8 bytes).
+func (t *Tree) scheduleCollapse(prefix []byte) {
+	cp := append([]byte(nil), prefix...)
+	t.maintMu.Lock()
+	t.maint = append(t.maint, cp)
+	t.maintMu.Unlock()
+}
+
+// PendingMaintenance returns the number of queued layer-collapse tasks.
+func (t *Tree) PendingMaintenance() int {
+	t.maintMu.Lock()
+	defer t.maintMu.Unlock()
+	return len(t.maint)
+}
+
+// Maintain runs queued maintenance tasks (empty-layer collapse), returning
+// how many layers were collapsed. The paper schedules these through
+// epoch-based reclamation; the kvstore invokes Maintain from its epoch
+// ticker, and tests call it directly.
+func (t *Tree) Maintain() int {
+	t.maintMu.Lock()
+	tasks := t.maint
+	t.maint = nil
+	t.maintMu.Unlock()
+	done := 0
+	for _, prefix := range tasks {
+		if t.collapseLayer(prefix) {
+			done++
+		}
+	}
+	return done
+}
+
+// collapseLayer removes the trie layer at the given key prefix if it is
+// still a single empty border node. It locks the owning border node in the
+// parent layer and then the layer root — the only place two layers are
+// locked together, always parent before child, so it cannot deadlock with
+// normal operations (which lock at most one layer at a time, §4.6.5).
+func (t *Tree) collapseLayer(prefix []byte) bool {
+	root := t.rootHeader()
+	k := prefix
+	for {
+		slice := keySlice(k)
+		n, _ := t.findBorder(root, slice)
+		n.h.lock()
+		if isDeleted(n.h.version.Load()) {
+			n.h.unlock()
+			return false
+		}
+		for {
+			next := n.next.Load()
+			if next == nil || !next.keyGEqLowkey(slice) {
+				break
+			}
+			next.h.lock()
+			n.h.unlock()
+			n = next
+			if isDeleted(n.h.version.Load()) {
+				n.h.unlock()
+				return false
+			}
+		}
+		perm := n.perm()
+		rank, found := n.searchRank(perm, slice, 9)
+		if !found {
+			n.h.unlock()
+			return false
+		}
+		slot := perm.slot(rank)
+		if n.keylen[slot].Load() != klLayer {
+			n.h.unlock()
+			return false
+		}
+		if len(k) > 8 {
+			// Intermediate layer: descend.
+			lvp := n.loadLV(slot)
+			n.h.unlock()
+			root = t.resolveLayer(n, slot, lvp)
+			k = k[8:]
+			continue
+		}
+
+		// Final layer link. Collapse only if the layer is still one empty
+		// border node; anything else was revived or grew.
+		child := ascendToRoot((*nodeHeader)(n.loadLV(slot)))
+		if !isBorder(child.version.Load()) {
+			n.h.unlock()
+			return false
+		}
+		b := child.border()
+		b.h.lock()
+		if isDeleted(b.h.version.Load()) || b.perm().count() != 0 || b.next.Load() != nil {
+			b.h.unlock()
+			n.h.unlock()
+			return false
+		}
+		b.h.markSplitting()
+		b.h.markDeleted()
+		b.h.unlock()
+
+		np := perm.remove(rank)
+		n.permutation.Store(uint64(np))
+		t.stats.LayerCollapses.Add(1)
+		if np.count() == 0 {
+			t.emptyBorder(n, prefix, len(prefix)/8-1) // unlocks n
+		} else {
+			n.h.unlock()
+		}
+		return true
+	}
+}

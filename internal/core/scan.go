@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+
+	"repro/internal/value"
+)
+
+// KV is one key-value pair returned by GetRange.
+type KV struct {
+	Key   []byte
+	Value *value.Value
+}
+
+// Scan visits keys greater than or equal to start in lexicographic order,
+// calling fn for each until fn returns false or the keys are exhausted.
+// Like the paper's getrange (§3), scans are not atomic with respect to
+// concurrent inserts and removes: each border node is read with version
+// validation, but the overall traversal observes a sequence of consistent
+// per-node snapshots.
+//
+// The key passed to fn is a fresh copy the callback may retain.
+func (t *Tree) Scan(start []byte, fn func(key []byte, v *value.Value) bool) {
+	t.scanLayer(t.rootHeader(), start, true, nil, fn)
+}
+
+// GetRange returns up to n key-value pairs starting with the first key at or
+// after start (§3: getrange, also called "scan").
+func (t *Tree) GetRange(start []byte, n int) []KV {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]KV, 0, n)
+	t.Scan(start, func(k []byte, v *value.Value) bool {
+		out = append(out, KV{Key: k, Value: v})
+		return len(out) < n
+	})
+	return out
+}
+
+// scanEntry is a validated snapshot of one border-node slot.
+type scanEntry struct {
+	rem     []byte // remaining-key bytes within this layer (slice [+suffix])
+	isLayer bool
+	lv      *value.Value
+	layer   *nodeHeader
+}
+
+// scanLayer walks one trie layer's border-node list from the node containing
+// resume, emitting entries and recursing into deeper layers. resume/inclusive
+// bound the remaining-key space: entries < resume (or == resume when not
+// inclusive) are skipped. prefix holds the key bytes consumed by outer
+// layers. Returns false if fn aborted the scan.
+func (t *Tree) scanLayer(root *nodeHeader, resume []byte, inclusive bool, prefix []byte, fn func([]byte, *value.Value) bool) bool {
+	n, v := t.findBorder(root, keySlice(resume))
+	var ents []scanEntry
+	for {
+		if isDeleted(v) {
+			// Node removed mid-scan: re-find the resume point.
+			n, v = t.findBorder(root, keySlice(resume))
+			continue
+		}
+		// Snapshot the node's live entries, then validate the version; on
+		// any change re-read. keylen is read on both sides of lv so a layer
+		// transition (§4.6.3, no version change) cannot tear the union.
+		ents = ents[:0]
+		ok := true
+		perm := n.perm()
+		cnt := perm.count()
+		for r := 0; r < cnt && ok; r++ {
+			slot := perm.slot(r)
+			kl := n.keylen[slot].Load()
+			lvp := n.loadLV(slot)
+			var suf []byte
+			if kl == klSuffix {
+				if sp := n.suffix[slot].Load(); sp != nil {
+					suf = *sp
+				}
+			}
+			if kl2 := n.keylen[slot].Load(); kl2 != kl || kl == klUnstable {
+				ok = false
+				break
+			}
+			ks := n.keyslice[slot].Load()
+			var e scanEntry
+			switch kl {
+			case klLayer:
+				e = scanEntry{rem: sliceBytes(ks, 8), isLayer: true, layer: (*nodeHeader)(lvp)}
+			case klSuffix:
+				rem := appendSliceBytes(make([]byte, 0, 8+len(suf)), ks, 8)
+				e = scanEntry{rem: append(rem, suf...), lv: (*value.Value)(lvp)}
+			default:
+				e = scanEntry{rem: sliceBytes(ks, int(kl)), lv: (*value.Value)(lvp)}
+			}
+			ents = append(ents, e)
+		}
+		next := n.next.Load()
+		if v2 := n.h.version.Load(); !ok || changed(v2, v) {
+			v = n.h.stable()
+			continue
+		}
+
+		// Emit from the validated snapshot.
+		for _, e := range ents {
+			if e.isLayer {
+				substart := []byte(nil)
+				subinc := true
+				if resume != nil {
+					if bytes.HasPrefix(resume, e.rem) {
+						substart = resume[8:]
+						subinc = inclusive
+					} else if bytes.Compare(e.rem, resume) < 0 {
+						continue // every key below this layer precedes resume
+					}
+				}
+				sub := append(append([]byte(nil), prefix...), e.rem...)
+				layer := ascendToRoot(e.layer)
+				if !t.scanLayer(layer, substart, subinc, sub, fn) {
+					return false
+				}
+			} else {
+				if resume != nil {
+					if c := bytes.Compare(e.rem, resume); c < 0 || (c == 0 && !inclusive) {
+						continue
+					}
+				}
+				full := make([]byte, 0, len(prefix)+len(e.rem))
+				full = append(append(full, prefix...), e.rem...)
+				if !fn(full, e.lv) {
+					return false
+				}
+			}
+			resume = e.rem
+			inclusive = false
+		}
+
+		if next == nil {
+			return true
+		}
+		n = next
+		v = n.h.stable()
+	}
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"unsafe"
+
+	"repro/internal/value"
+)
+
+// borderEntry is a writer-local snapshot of one border-node key used while
+// redistributing keys during a split. slot is the entry's slot in the old
+// node, or -1 for the key being inserted.
+type borderEntry struct {
+	slot  int
+	slice uint64
+	kl    uint32
+	suf   *[]byte
+	lv    unsafe.Pointer
+}
+
+// splitInsert splits the full, locked border node n while inserting the new
+// key at the given rank (paper Figure 5 plus §4.3's sequential-insert
+// optimization). It releases all locks before returning.
+func (t *Tree) splitInsert(n *borderNode, rank int, slice uint64, k []byte, v *value.Value) {
+	perm := n.perm()
+	cnt := perm.count()
+
+	// Gather existing keys plus the pending key, in key order.
+	var ents [width + 1]borderEntry
+	for i := 0; i < cnt; i++ {
+		slot := perm.slot(i)
+		pos := i
+		if i >= rank {
+			pos = i + 1
+		}
+		var suf *[]byte
+		kl := n.keylen[slot].Load()
+		if kl == klSuffix {
+			suf = n.suffix[slot].Load()
+		}
+		ents[pos] = borderEntry{
+			slot:  slot,
+			slice: n.keyslice[slot].Load(),
+			kl:    kl,
+			suf:   suf,
+			lv:    n.loadLV(slot),
+		}
+	}
+	pend := borderEntry{slot: -1, slice: slice, lv: unsafe.Pointer(v)}
+	if len(k) <= 8 {
+		pend.kl = uint32(len(k))
+	} else {
+		suf := append([]byte(nil), k[8:]...)
+		pend.kl = klSuffix
+		pend.suf = &suf
+	}
+	ents[rank] = pend
+	total := cnt + 1
+
+	// Pick the split point. All keys sharing a slice must stay in one node
+	// (§4.2), so the boundary must fall where the slice changes. A slice
+	// group holds at most 10 keys, so a full node always has a boundary.
+	// The sequential-insert optimization: appending to the rightmost node
+	// leaves the old keys in place and moves only the new key (§4.3).
+	splitAt := total / 2
+	if rank == cnt && n.next.Load() == nil {
+		splitAt = total - 1
+	}
+	splitAt = sliceBoundary(ents[:total], splitAt)
+
+	left, right := ents[:splitAt], ents[splitAt:total]
+
+	n.h.markSplitting()
+	n2 := newBorder(false, true)
+	n2.h.markSplitting()
+	n2.lowSlice = right[0].slice
+	n2.lowOrd = ordOf(right[0].kl)
+
+	// Fill the new sibling; it is invisible until linked.
+	for i, e := range right {
+		n2.keyslice[i].Store(e.slice)
+		n2.keylen[i].Store(e.kl)
+		n2.suffix[i].Store(e.suf)
+		n2.storeLV(i, e.lv)
+		n2.usedMask |= 1 << uint(i)
+	}
+	n2.permutation.Store(uint64(identityPerm(len(right))))
+
+	// Rebuild n's side. Entries keep their slots; the pending key (if it
+	// stayed left) takes any slot not used by the left side — readers using
+	// the old permutation that race with the overwrite are forced to retry
+	// by the splitting bit.
+	var idx [width]int
+	usedLeft := uint16(0)
+	pendPos := -1
+	for i, e := range left {
+		if e.slot < 0 {
+			pendPos = i
+			continue
+		}
+		idx[i] = e.slot
+		usedLeft |= 1 << uint(e.slot)
+	}
+	if pendPos >= 0 {
+		slot := -1
+		for s := 0; s < width; s++ {
+			if usedLeft&(1<<uint(s)) == 0 {
+				slot = s
+				break
+			}
+		}
+		idx[pendPos] = slot
+		usedLeft |= 1 << uint(slot)
+		n.keyslice[slot].Store(pend.slice)
+		n.keylen[slot].Store(pend.kl)
+		n.suffix[slot].Store(pend.suf)
+		n.storeLV(slot, pend.lv)
+	}
+	// The permutation's tail is the free list; it must hold exactly the
+	// slots not referenced by the live region or future inserts would claim
+	// live slots.
+	fi := len(left)
+	for s := 0; s < width; s++ {
+		if usedLeft&(1<<uint(s)) == 0 {
+			idx[fi] = s
+			fi++
+		}
+	}
+	n.usedMask = (1 << width) - 1
+	n.permutation.Store(uint64(pack(idx, len(left))))
+
+	// Link the sibling into the border list. oldNext's prev pointer is
+	// protected by n's lock, which we hold (§4.5).
+	oldNext := n.next.Load()
+	n2.next.Store(oldNext)
+	n2.prev.Store(n)
+	if oldNext != nil {
+		oldNext.prev.Store(n2)
+	}
+	n.next.Store(n2)
+
+	t.stats.Splits.Add(1)
+	t.ascend(&n.h, &n2.h, n2.lowSlice)
+}
+
+// identityPerm returns a permutation with the first count slots live in slot
+// order.
+func identityPerm(count int) permutation {
+	return permutation(uint64(emptyPermutation())&^0xf | uint64(count))
+}
+
+// sliceBoundary returns the index nearest want in (0, len(ents)) at which
+// the key slice changes, so that no slice group straddles the split.
+func sliceBoundary(ents []borderEntry, want int) int {
+	isBoundary := func(i int) bool {
+		return i > 0 && i < len(ents) && ents[i-1].slice != ents[i].slice
+	}
+	if isBoundary(want) {
+		return want
+	}
+	for d := 1; d < len(ents); d++ {
+		if isBoundary(want + d) {
+			return want + d
+		}
+		if isBoundary(want - d) {
+			return want - d
+		}
+	}
+	panic("core: border node holds a single slice group wider than fanout")
+}
+
+// ascend inserts the new sibling n2 (with separator slice sep) into n's
+// parent, splitting interior nodes upward as needed (Figure 5). On entry n
+// and n2 are locked with their splitting bits set; all locks are released by
+// the time ascend returns. Locks are acquired up the tree, which prevents
+// deadlock (§4.5).
+func (t *Tree) ascend(n, n2 *nodeHeader, sep uint64) {
+	for {
+		p := n.lockParent()
+		if p == nil {
+			// n was the root of its B+-tree: grow a new interior root.
+			r := newInterior(rootBit)
+			r.keyslice[0].Store(sep)
+			r.child[0].Store(n)
+			r.child[1].Store(n2)
+			r.nkeys.Store(1)
+			n.parent.Store(r)
+			n2.parent.Store(r)
+			n.clearRoot()
+			t.root.CompareAndSwap(n, &r.h) // layer-0 root; inner layers fix lazily
+			n.unlock()
+			n2.unlock()
+			return
+		}
+		if int(p.nkeys.Load()) < width {
+			p.h.markInserting()
+			nk := int(p.nkeys.Load())
+			pos := 0
+			for pos < nk && p.keyslice[pos].Load() < sep {
+				pos++
+			}
+			for i := nk; i > pos; i-- {
+				p.keyslice[i].Store(p.keyslice[i-1].Load())
+			}
+			for i := nk + 1; i > pos+1; i-- {
+				p.child[i].Store(p.child[i-1].Load())
+			}
+			p.keyslice[pos].Store(sep)
+			p.child[pos+1].Store(n2)
+			n2.parent.Store(p)
+			p.nkeys.Store(int32(nk + 1))
+			n.unlock()
+			n2.unlock()
+			p.h.unlock()
+			return
+		}
+		// Parent full: split it and keep ascending.
+		p.h.markSplitting()
+		n.unlock()
+		p2 := newInterior(lockBit | splittingBit)
+		sep2 := t.splitInterior(p, p2, sep, n2)
+		n2.unlock()
+		n, n2, sep = &p.h, &p2.h, sep2
+		t.stats.Splits.Add(1)
+	}
+}
+
+// splitInterior splits the full, locked interior node p while inserting
+// separator sep with right child c. The median key is promoted (returned),
+// the upper keys and children move to p2, and moved children's parent
+// pointers are reassigned under p's and p2's locks (§4.5).
+func (t *Tree) splitInterior(p, p2 *interiorNode, sep uint64, c *nodeHeader) uint64 {
+	nk := int(p.nkeys.Load()) // == width
+	pos := 0
+	for pos < nk && p.keyslice[pos].Load() < sep {
+		pos++
+	}
+	var keys [width + 1]uint64
+	var kids [width + 2]*nodeHeader
+	for i := 0; i < pos; i++ {
+		keys[i] = p.keyslice[i].Load()
+	}
+	keys[pos] = sep
+	for i := pos; i < nk; i++ {
+		keys[i+1] = p.keyslice[i].Load()
+	}
+	for i := 0; i <= pos; i++ {
+		kids[i] = p.child[i].Load()
+	}
+	kids[pos+1] = c
+	for i := pos + 1; i <= nk; i++ {
+		kids[i+1] = p.child[i].Load()
+	}
+
+	total := nk + 1 // 16 keys, 17 children
+	mid := total / 2
+	promoted := keys[mid]
+
+	for i := 0; i < mid; i++ {
+		p.keyslice[i].Store(keys[i])
+	}
+	for i := 0; i <= mid; i++ {
+		p.child[i].Store(kids[i])
+	}
+	p.nkeys.Store(int32(mid))
+
+	rk := total - mid - 1
+	for i := 0; i < rk; i++ {
+		p2.keyslice[i].Store(keys[mid+1+i])
+	}
+	for i := 0; i <= rk; i++ {
+		child := kids[mid+1+i]
+		p2.child[i].Store(child)
+		child.parent.Store(p2)
+	}
+	p2.nkeys.Store(int32(rk))
+
+	// The pending child's parent: moved children were just set to p2; if it
+	// stayed in the left half it still needs its parent assigned.
+	if pos+1 <= mid {
+		c.parent.Store(p)
+	}
+	return promoted
+}

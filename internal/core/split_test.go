@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSplitAtEveryRank fills a node with 15 keys and forces the 16th insert
+// at every possible rank, verifying no key is lost.
+func TestSplitAtEveryRank(t *testing.T) {
+	for r := 0; r < 16; r++ {
+		tr := New()
+		var keys []string
+		for i := 0; i < 16; i++ {
+			keys = append(keys, fmt.Sprintf("k%02d", i*2))
+		}
+		newKey := fmt.Sprintf("k%02d", r*2+1) // lands at rank r+? among evens
+		for i, k := range keys {
+			if i == 15 {
+				break
+			}
+			put(tr, k, k)
+		}
+		put(tr, newKey, newKey)
+		for i := 0; i < 15; i++ {
+			mustGet(t, tr, keys[i], keys[i])
+		}
+		mustGet(t, tr, newKey, newKey)
+	}
+}
+
+// TestSplitLongKeys does the same with suffix-bearing keys.
+func TestSplitLongKeys(t *testing.T) {
+	for r := 0; r < 16; r++ {
+		tr := New()
+		var keys []string
+		for i := 0; i < 15; i++ {
+			keys = append(keys, fmt.Sprintf("longerkey-%02d-suffix", i*2))
+		}
+		for _, k := range keys {
+			put(tr, k, k)
+		}
+		newKey := fmt.Sprintf("longerkey-%02d-newone", r*2+1)
+		put(tr, newKey, newKey)
+		for _, k := range keys {
+			mustGet(t, tr, k, k)
+		}
+		mustGet(t, tr, newKey, newKey)
+	}
+}

@@ -1,0 +1,39 @@
+package core
+
+import "sync/atomic"
+
+// Stats holds always-on operation counters. They are cheap (contended only
+// on rare paths) and power the paper's §4.6.4 retry-rate measurements and
+// the maintenance/ablation benchmarks.
+type Stats struct {
+	RootRetries    atomic.Int64 // retries from the root (observed splits/deletes)
+	LocalRetries   atomic.Int64 // local retries (observed inserts, link chases)
+	Splits         atomic.Int64 // border + interior node splits
+	LayerCreations atomic.Int64 // new trie layers created (§4.6.3)
+	NodeDeletes    atomic.Int64 // border/interior nodes removed (§4.6.5)
+	LayerCollapses atomic.Int64 // empty layers collapsed by maintenance
+	SlotReuses     atomic.Int64 // inserts into previously-used slots (vinsert bumps)
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	RootRetries    int64
+	LocalRetries   int64
+	Splits         int64
+	LayerCreations int64
+	NodeDeletes    int64
+	LayerCollapses int64
+	SlotReuses     int64
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		RootRetries:    s.RootRetries.Load(),
+		LocalRetries:   s.LocalRetries.Load(),
+		Splits:         s.Splits.Load(),
+		LayerCreations: s.LayerCreations.Load(),
+		NodeDeletes:    s.NodeDeletes.Load(),
+		LayerCollapses: s.LayerCollapses.Load(),
+		SlotReuses:     s.SlotReuses.Load(),
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// TestGrowShrinkWaves repeatedly grows the tree (forcing splits) and then
+// drains it (forcing node deletions and layer collapses) from multiple
+// goroutines, the hostile interleaving for split/remove coordination.
+func TestGrowShrinkWaves(t *testing.T) {
+	tr := New()
+	const workers = 4
+	const span = 1200
+	for wave := 0; wave < 3; wave++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < span; i += workers {
+					k := []byte(fmt.Sprintf("wave-%06d-suffix", i))
+					tr.Put(k, value.New(k))
+				}
+			}(w)
+		}
+		wg.Wait()
+		if tr.Len() != span {
+			t.Fatalf("wave %d: Len=%d want %d", wave, tr.Len(), span)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < span; i += workers {
+					k := []byte(fmt.Sprintf("wave-%06d-suffix", i))
+					if _, ok := tr.Remove(k); !ok {
+						panic(fmt.Sprintf("wave remove lost %q", k))
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if tr.Len() != 0 {
+			t.Fatalf("wave %d: Len=%d after drain", wave, tr.Len())
+		}
+		tr.Maintain()
+		checkInvariants(t, tr)
+	}
+	if s := tr.Stats(); s.Splits == 0 || s.NodeDeletes == 0 {
+		t.Fatalf("waves did not exercise splits+deletes: %+v", s)
+	}
+}
+
+// TestConcurrentSplitRemoveSameRegion focuses splits and removes on one
+// narrow key region so they collide on the same border nodes.
+func TestConcurrentSplitRemoveSameRegion(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 300; round++ {
+				base := (w*300 + round) % 60
+				for i := 0; i < 20; i++ {
+					k := []byte(fmt.Sprintf("R%02d-%02d", base, i))
+					tr.Put(k, value.New(k))
+				}
+				for i := 0; i < 20; i++ {
+					k := []byte(fmt.Sprintf("R%02d-%02d", base, i))
+					tr.Remove(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	tr.Maintain()
+	checkInvariants(t, tr)
+}

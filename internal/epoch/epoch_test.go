@@ -1,0 +1,140 @@
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRetireRunsAfterTwoAdvances(t *testing.T) {
+	var m Manager
+	ran := false
+	m.Retire(func() { ran = true })
+	if !m.Advance() {
+		t.Fatal("advance failed with no handles")
+	}
+	if ran {
+		t.Fatal("callback ran after one advance")
+	}
+	if !m.Advance() {
+		t.Fatal("second advance failed")
+	}
+	if !ran {
+		t.Fatal("callback did not run after two advances")
+	}
+	if m.Pending() != 0 {
+		t.Fatalf("pending = %d", m.Pending())
+	}
+}
+
+func TestActiveReaderPinsEpoch(t *testing.T) {
+	var m Manager
+	h := m.Register()
+	h.Enter()
+	e := m.Epoch()
+	ran := false
+	m.Retire(func() { ran = true })
+	// The reader entered at the current epoch, so one advance succeeds...
+	if !m.Advance() {
+		t.Fatal("first advance should succeed (reader is current)")
+	}
+	// ...but now the reader's local epoch is stale and pins further advances.
+	if m.Advance() {
+		t.Fatal("advance should fail with a stale active reader")
+	}
+	if ran {
+		t.Fatal("callback ran while a reader could still hold references")
+	}
+	h.Exit()
+	if !m.Advance() {
+		t.Fatal("advance should succeed after reader exit")
+	}
+	if !ran {
+		t.Fatal("callback should have run")
+	}
+	if m.Epoch() < e+2 {
+		t.Fatalf("epoch did not advance: %d -> %d", e, m.Epoch())
+	}
+}
+
+func TestBarrierDrains(t *testing.T) {
+	var m Manager
+	var n atomic.Int32
+	for i := 0; i < 10; i++ {
+		m.Retire(func() { n.Add(1) })
+	}
+	m.Barrier()
+	if n.Load() != 10 {
+		t.Fatalf("ran %d callbacks, want 10", n.Load())
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	var m Manager
+	h := m.Register()
+	h.Enter()
+	m.Advance() // h now stale
+	if m.Advance() {
+		t.Fatal("stale handle should pin")
+	}
+	m.Unregister(h)
+	if !m.Advance() {
+		t.Fatal("unregistered handle should not pin")
+	}
+}
+
+// TestConcurrentReadersAndReclaim runs readers entering/exiting while a
+// reclaimer retires callbacks and advances; all callbacks must eventually
+// run and none may run while its retire-epoch readers are still inside.
+func TestConcurrentReadersAndReclaim(t *testing.T) {
+	var m Manager
+	const readers = 4
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	var inside atomic.Int64 // readers currently in a critical section
+	var violations atomic.Int64
+
+	for r := 0; r < readers; r++ {
+		h := m.Register()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				h.Enter()
+				inside.Add(1)
+				inside.Add(-1)
+				h.Exit()
+			}
+		}()
+	}
+
+	var retired, ran atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			m.Retire(func() { ran.Add(1) })
+			retired.Add(1)
+			m.Advance()
+		}
+		stop.Store(true)
+	}()
+	wg.Wait()
+	m.Barrier()
+	if ran.Load() != retired.Load() {
+		t.Fatalf("ran %d of %d retired callbacks", ran.Load(), retired.Load())
+	}
+	if violations.Load() != 0 {
+		t.Fatal("epoch violation")
+	}
+}
+
+func TestEpochStartsAtOne(t *testing.T) {
+	var m Manager
+	h := m.Register()
+	h.Enter()
+	if got := m.Epoch(); got == 0 {
+		t.Fatal("epoch should initialize on first use")
+	}
+	h.Exit()
+}

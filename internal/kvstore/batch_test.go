@@ -1,0 +1,45 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestGetBatch(t *testing.T) {
+	s := openMem(t)
+	for i := 0; i < 500; i++ {
+		s.Put(0, []byte(fmt.Sprintf("k%03d", i)), []value.ColPut{
+			{Col: 0, Data: []byte(fmt.Sprintf("a%d", i))},
+			{Col: 1, Data: []byte(fmt.Sprintf("b%d", i))},
+		})
+	}
+	keys := [][]byte{
+		[]byte("k010"), []byte("missing"), []byte("k499"), []byte("k000"), []byte("k010"),
+	}
+	out, found := s.GetBatch(keys, []int{1})
+	wantFound := []bool{true, false, true, true, true}
+	wantCol := []string{"b10", "", "b499", "b0", "b10"}
+	for i := range keys {
+		if found[i] != wantFound[i] {
+			t.Fatalf("key %q found=%v want %v", keys[i], found[i], wantFound[i])
+		}
+		if found[i] && !bytes.Equal(out[i][0], []byte(wantCol[i])) {
+			t.Fatalf("key %q col = %q want %q", keys[i], out[i][0], wantCol[i])
+		}
+	}
+}
+
+func TestGetBatchAllColumns(t *testing.T) {
+	s := openMem(t)
+	s.Put(0, []byte("k"), []value.ColPut{{Col: 0, Data: []byte("x")}, {Col: 2, Data: []byte("z")}})
+	out, found := s.GetBatch([][]byte{[]byte("k")}, nil)
+	if !found[0] || len(out[0]) != 3 {
+		t.Fatalf("batch all-cols: %v %v", out, found)
+	}
+	if string(out[0][0]) != "x" || out[0][1] != nil || string(out[0][2]) != "z" {
+		t.Fatalf("columns wrong: %q", out[0])
+	}
+}

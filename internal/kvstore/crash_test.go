@@ -1,0 +1,146 @@
+package kvstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// crash simulates a crash: flush OS buffers but skip the clean-shutdown
+// marks, leaving the logs exactly as a power failure after the last group
+// commit would.
+func crash(t *testing.T, s *Store) {
+	t.Helper()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear down without marks: close files directly via the wal set.
+	close(s.stop)
+	s.wg.Wait()
+	if err := s.logs.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashRecoveryConservativeCutoff(t *testing.T) {
+	dir := t.TempDir()
+	s := openDir(t, dir)
+	// Worker 0 logs ts 1..10 (keys a*), worker 1 logs nothing after its
+	// early records; the tail beyond the slowest log's last timestamp must
+	// be dropped.
+	s.PutSimple(1, []byte("b0"), []byte("x")) // ts 1 on log 1
+	for i := 0; i < 10; i++ {
+		s.PutSimple(0, []byte(fmt.Sprintf("a%d", i)), []byte("y")) // ts 2..11 on log 0
+	}
+	crash(t, s)
+
+	r := openDir(t, dir)
+	defer r.Close()
+	// Cutoff = min(last of log0=11, last of log1=1) = 1: only b0 survives.
+	if r.Len() != 1 {
+		t.Fatalf("recovered %d keys, want 1 (conservative cutoff)", r.Len())
+	}
+	if _, ok := r.Get([]byte("b0"), nil); !ok {
+		t.Fatal("b0 lost")
+	}
+}
+
+func TestCrashRecoveryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s := openDir(t, dir)
+	for i := 0; i < 100; i++ {
+		s.PutSimple(0, []byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+	}
+	crash(t, s)
+
+	// Tear the last few bytes off worker 0's log, as an interrupted write
+	// would.
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "log-0000") {
+			p := filepath.Join(dir, e.Name())
+			b, _ := os.ReadFile(p)
+			os.WriteFile(p, b[:len(b)-7], 0o644)
+		}
+	}
+
+	r := openDir(t, dir)
+	defer r.Close()
+	// The torn record (k099) is gone; everything before it survives.
+	if r.Len() != 99 {
+		t.Fatalf("recovered %d keys, want 99", r.Len())
+	}
+	if _, ok := r.Get([]byte("k099"), nil); ok {
+		t.Fatal("torn record resurrected")
+	}
+}
+
+func TestReopenAfterCleanCloseTwice(t *testing.T) {
+	dir := t.TempDir()
+	s := openDir(t, dir)
+	s.PutSimple(0, []byte("k"), []byte("v1"))
+	s.Close()
+	s2 := openDir(t, dir)
+	s2.PutSimple(0, []byte("k"), []byte("v2"))
+	s2.Close()
+	s3 := openDir(t, dir)
+	defer s3.Close()
+	got, ok := s3.Get([]byte("k"), nil)
+	if !ok || string(got[0]) != "v2" {
+		t.Fatalf("after two generations: %q %v", got, ok)
+	}
+}
+
+func TestRecoverySurvivesCheckpointPlusCrash(t *testing.T) {
+	dir := t.TempDir()
+	s := openDir(t, dir)
+	for i := 0; i < 200; i++ {
+		s.PutSimple(0, []byte(fmt.Sprintf("k%03d", i)), []byte("pre"))
+	}
+	if _, _, err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		s.PutSimple(0, []byte(fmt.Sprintf("k%03d", i)), []byte("post"))
+	}
+	crash(t, s)
+
+	r := openDir(t, dir)
+	defer r.Close()
+	if r.Len() != 200 {
+		t.Fatalf("recovered %d keys", r.Len())
+	}
+	// Worker 1 logged nothing post-checkpoint, so its generation-2 log is
+	// empty and does not constrain the cutoff; worker 0's updates survive.
+	got, ok := r.Get([]byte("k000"), nil)
+	if !ok || string(got[0]) != "post" {
+		t.Fatalf("k000 = %q,%v want post", got, ok)
+	}
+	got, _ = r.Get([]byte("k100"), nil)
+	if string(got[0]) != "pre" {
+		t.Fatalf("k100 = %q want pre", got)
+	}
+}
+
+func TestBackgroundFlushDurability(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, Workers: 1, FlushInterval: 2 * time.Millisecond, MaintainEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PutSimple(0, []byte("k"), []byte("v"))
+	time.Sleep(50 * time.Millisecond) // let the background flusher run
+	// Simulate a hard crash with no explicit flush at all.
+	close(s.stop)
+	s.wg.Wait()
+	s.logs.Close()
+
+	r := openDir(t, dir)
+	defer r.Close()
+	if _, ok := r.Get([]byte("k"), nil); !ok {
+		t.Fatal("update lost despite background flush")
+	}
+}

@@ -1,0 +1,61 @@
+package kvstore
+
+import (
+	"repro/internal/epoch"
+	"repro/internal/value"
+)
+
+// Session is one worker's handle onto the store: it binds operations to the
+// worker's log (each query thread maintains its own log file and in-memory
+// log buffer, §5) and registers an epoch handle so deferred reclamation
+// waits for the session's in-flight operations (§4.6.1).
+//
+// A Session is not safe for concurrent use; create one per worker goroutine.
+type Session struct {
+	s      *Store
+	worker int
+	h      *epoch.Handle
+}
+
+// Session creates a session bound to the given worker's log.
+func (s *Store) Session(worker int) *Session {
+	return &Session{s: s, worker: worker, h: s.mgr.Register()}
+}
+
+// Close unregisters the session from the epoch manager.
+func (ss *Session) Close() {
+	ss.s.mgr.Unregister(ss.h)
+}
+
+// Get returns the requested columns of key (nil cols = all).
+func (ss *Session) Get(key []byte, cols []int) ([][]byte, bool) {
+	ss.h.Enter()
+	defer ss.h.Exit()
+	return ss.s.Get(key, cols)
+}
+
+// Put applies column modifications atomically via this session's log.
+func (ss *Session) Put(key []byte, puts []value.ColPut) uint64 {
+	ss.h.Enter()
+	defer ss.h.Exit()
+	return ss.s.Put(ss.worker, key, puts)
+}
+
+// PutSimple stores data as column 0.
+func (ss *Session) PutSimple(key, data []byte) uint64 {
+	return ss.Put(key, []value.ColPut{{Col: 0, Data: data}})
+}
+
+// Remove deletes key via this session's log.
+func (ss *Session) Remove(key []byte) bool {
+	ss.h.Enter()
+	defer ss.h.Exit()
+	return ss.s.Remove(ss.worker, key)
+}
+
+// GetRange returns up to n pairs from start (nil cols = all columns).
+func (ss *Session) GetRange(start []byte, n int, cols []int) []Pair {
+	ss.h.Enter()
+	defer ss.h.Exit()
+	return ss.s.GetRange(start, n, cols)
+}

@@ -1,0 +1,330 @@
+// Package kvstore assembles Masstree the system (§3, §5): the core tree,
+// multi-column values, per-worker logging with group commit, periodic
+// checkpoints, recovery, and epoch-scheduled maintenance.
+//
+// The store supports the paper's four operations — get(k), put(k, v),
+// remove(k), and getrange(k, n) — each with an optional list of column
+// numbers. Multi-column puts are atomic: a concurrent get sees all or none
+// of a put's column modifications (§4.7).
+//
+// Version numbers and timestamps: the store draws both from a single
+// monotonic counter, assigned under the owning border node's lock, so
+// sequential updates to a value obtain distinct increasing versions, log
+// records are totally ordered per key (even across remove/re-insert), and
+// recovery can apply each key's updates in increasing version order after
+// cutting off at t = min over logs of the log's last timestamp (§5).
+package kvstore
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+// Config configures a Store.
+type Config struct {
+	// Dir is the persistence directory for logs and checkpoints. Empty
+	// disables persistence entirely (a pure in-memory store).
+	Dir string
+	// Workers is the number of per-worker log files (the paper gives each
+	// query thread its own log). Defaults to 1.
+	Workers int
+	// FlushInterval bounds how long a logged update may stay unforced
+	// (200 ms in the paper). Defaults to wal.DefaultFlushInterval.
+	FlushInterval time.Duration
+	// SyncWrites forces logs to storage on each flush (fsync).
+	SyncWrites bool
+	// MaintainEvery is the epoch-advance and tree-maintenance period.
+	// Defaults to 50 ms; 0 uses the default, negative disables.
+	MaintainEvery time.Duration
+}
+
+// Pair is one key plus requested columns, returned by GetRange.
+type Pair struct {
+	Key  []byte
+	Cols [][]byte
+}
+
+// Store is a persistent in-memory key-value store backed by a Masstree.
+// All methods are safe for concurrent use.
+type Store struct {
+	cfg   Config
+	tree  *core.Tree
+	clock atomic.Uint64
+	logs  *wal.Set // nil when persistence is disabled
+	mgr   epoch.Manager
+
+	ckptMu sync.Mutex // one checkpoint at a time
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Open creates a store, recovering from the newest valid checkpoint plus
+// logs when cfg.Dir holds a previous incarnation's state.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.MaintainEvery == 0 {
+		cfg.MaintainEvery = 50 * time.Millisecond
+	}
+	s := &Store{cfg: cfg, tree: core.New(), stop: make(chan struct{})}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, err
+		}
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.MaintainEvery > 0 {
+		s.wg.Add(1)
+		go s.maintainLoop()
+	}
+	return s, nil
+}
+
+// recover loads the latest valid checkpoint, replays the logs beyond it,
+// restores the clock, and opens a fresh log generation (never appending to a
+// file that may end in a torn record).
+func (s *Store) recover() error {
+	maxVersion := uint64(0)
+	_, err := checkpoint.LoadLatest(s.cfg.Dir, func(e checkpoint.Entry) {
+		s.tree.Put(e.Key, e.Value)
+		if e.Value.Version() > maxVersion {
+			maxVersion = e.Value.Version()
+		}
+	})
+	if err != nil && err != checkpoint.ErrNone {
+		return fmt.Errorf("kvstore: loading checkpoint: %w", err)
+	}
+	res, err := wal.RecoverDir(s.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("kvstore: scanning logs: %w", err)
+	}
+	res.Replay(4, func(r wal.Record) {
+		switch r.Op {
+		case wal.OpPut:
+			s.tree.Update(r.Key, func(old *value.Value) *value.Value {
+				if old != nil && old.Version() >= r.TS {
+					return old // already reflected (e.g. via the checkpoint)
+				}
+				return value.ApplyAt(old, r.Puts, r.TS)
+			})
+		case wal.OpRemove:
+			if v, ok := s.tree.Get(r.Key); ok && v.Version() < r.TS {
+				s.tree.Remove(r.Key)
+			}
+		}
+	})
+	clock := res.MaxTS
+	if maxVersion > clock {
+		clock = maxVersion
+	}
+	s.clock.Store(clock)
+	logs, err := wal.OpenSet(s.cfg.Dir, s.cfg.Workers, res.MaxGen+1, s.cfg.SyncWrites, s.cfg.FlushInterval)
+	if err != nil {
+		return err
+	}
+	s.logs = logs
+	return nil
+}
+
+func (s *Store) maintainLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.MaintainEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			// Deferred structural clean-up runs through the epoch manager,
+			// exactly as the paper schedules reclamation tasks (§4.6.5):
+			// the collapse executes only after concurrent readers have
+			// moved past the epoch in which the layer emptied.
+			if s.tree.PendingMaintenance() > 0 {
+				s.mgr.Retire(func() { s.tree.Maintain() })
+			}
+			s.mgr.Advance()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Tree exposes the underlying Masstree (benchmarks and tests).
+func (s *Store) Tree() *core.Tree { return s.tree }
+
+// Epoch exposes the store's epoch manager (sessions register handles).
+func (s *Store) Epoch() *epoch.Manager { return &s.mgr }
+
+// Len returns the number of keys.
+func (s *Store) Len() int { return s.tree.Len() }
+
+// Get returns the requested columns of key's value, or (nil, false) if the
+// key is absent. cols == nil returns all columns.
+func (s *Store) Get(key []byte, cols []int) ([][]byte, bool) {
+	v, ok := s.tree.Get(key)
+	if !ok {
+		return nil, false
+	}
+	return pickCols(v, cols), true
+}
+
+// GetValue returns the whole value object.
+func (s *Store) GetValue(key []byte) (*value.Value, bool) { return s.tree.Get(key) }
+
+// GetBatch retrieves many keys at once, processing them in tree order to
+// share cache paths between descents (§4.8's PALM-style batching). Results
+// are in input order; cols == nil returns all columns.
+func (s *Store) GetBatch(keys [][]byte, cols []int) (out [][][]byte, found []bool) {
+	vals, ok := s.tree.GetBatch(keys)
+	out = make([][][]byte, len(keys))
+	for i, v := range vals {
+		if ok[i] {
+			out[i] = pickCols(v, cols)
+		}
+	}
+	return out, ok
+}
+
+func pickCols(v *value.Value, cols []int) [][]byte {
+	if cols == nil {
+		return v.Cols()
+	}
+	out := make([][]byte, len(cols))
+	for i, c := range cols {
+		out[i] = v.Col(c)
+	}
+	return out
+}
+
+// Put applies the column modifications to key atomically, logging through
+// the given worker's log, and returns the new value's version.
+func (s *Store) Put(worker int, key []byte, puts []value.ColPut) uint64 {
+	var ver uint64
+	s.tree.Update(key, func(old *value.Value) *value.Value {
+		ver = s.clock.Add(1)
+		return value.ApplyAt(old, puts, ver)
+	})
+	if s.logs != nil {
+		s.logs.Writer(worker).Append(&wal.Record{TS: ver, Op: wal.OpPut, Key: key, Puts: puts})
+	}
+	return ver
+}
+
+// PutSimple stores data as column 0 of key.
+func (s *Store) PutSimple(worker int, key, data []byte) uint64 {
+	return s.Put(worker, key, []value.ColPut{{Col: 0, Data: data}})
+}
+
+// Remove deletes key, logging through the given worker's log.
+func (s *Store) Remove(worker int, key []byte) bool {
+	var ver uint64
+	_, ok := s.tree.RemoveWith(key, func(*value.Value) {
+		ver = s.clock.Add(1)
+	})
+	if ok && s.logs != nil {
+		s.logs.Writer(worker).Append(&wal.Record{TS: ver, Op: wal.OpRemove, Key: key})
+	}
+	return ok
+}
+
+// GetRange returns up to n pairs starting at the first key >= start,
+// retrieving the requested columns (nil = all). Like the paper's getrange it
+// is not atomic with respect to concurrent inserts and updates (§3).
+func (s *Store) GetRange(start []byte, n int, cols []int) []Pair {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Pair, 0, n)
+	s.tree.Scan(start, func(k []byte, v *value.Value) bool {
+		out = append(out, Pair{Key: k, Cols: pickCols(v, cols)})
+		return len(out) < n
+	})
+	return out
+}
+
+// Checkpoint writes a checkpoint of all keys and values, then reclaims log
+// space and older checkpoints (§5). It runs in parallel with request
+// processing.
+func (s *Store) Checkpoint() (path string, n int, err error) {
+	if s.cfg.Dir == "" {
+		return "", 0, fmt.Errorf("kvstore: checkpointing requires a persistence directory")
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+
+	gen, err := s.logs.Rotate()
+	if err != nil {
+		return "", 0, err
+	}
+	startTS := s.clock.Load()
+
+	// Stream the tree through a channel so the scan goroutine and the file
+	// writer overlap; values are immutable so the dump is a consistent
+	// fuzzy snapshot that log replay repairs.
+	type kv struct {
+		k []byte
+		v *value.Value
+	}
+	ch := make(chan kv, 1024)
+	go func() {
+		s.tree.Scan(nil, func(k []byte, v *value.Value) bool {
+			ch <- kv{k, v}
+			return true
+		})
+		close(ch)
+	}()
+	path, n, err = checkpoint.Write(s.cfg.Dir, startTS, func() (checkpoint.Entry, bool) {
+		e, ok := <-ch
+		if !ok {
+			return checkpoint.Entry{}, false
+		}
+		return checkpoint.Entry{Key: e.k, Value: e.v}, true
+	})
+	if err != nil {
+		return "", 0, err
+	}
+	if err := checkpoint.Drop(s.cfg.Dir, startTS); err != nil {
+		return path, n, err
+	}
+	if err := s.logs.DropBefore(gen); err != nil {
+		return path, n, err
+	}
+	return path, n, nil
+}
+
+// Flush forces buffered log records to the operating system (and to storage
+// when SyncWrites is set).
+func (s *Store) Flush() error {
+	if s.logs == nil {
+		return nil
+	}
+	return s.logs.Flush()
+}
+
+// Close stops background work and flushes and closes the logs. A clean
+// shutdown writes a timestamp mark to every log so recovery's cutoff does
+// not discard the durable tail of busier logs (see wal.OpMark).
+func (s *Store) Close() error {
+	close(s.stop)
+	s.wg.Wait()
+	s.tree.Maintain()
+	if s.logs != nil {
+		s.logs.Mark(s.clock.Load())
+		return s.logs.Close()
+	}
+	return nil
+}
+
+// Stats exposes tree operation counters.
+func (s *Store) Stats() core.StatsSnapshot { return s.tree.Stats() }

@@ -1,0 +1,72 @@
+package othersys
+
+import "repro/internal/value"
+
+// OpKind selects an operation in a batch.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpGet OpKind = iota
+	OpPut
+	OpScan
+)
+
+// Op is one operation of a client batch.
+type Op struct {
+	Kind OpKind
+	Key  []byte
+	Cols []int
+	Puts []value.ColPut
+	N    int // OpScan
+}
+
+// Result is one operation's outcome.
+type Result struct {
+	OK    bool
+	Cols  [][]byte
+	Pairs []Pair
+}
+
+// Batcher is the batch-oriented interface the Figure 13 harness drives: a
+// batch corresponds to one client message. Systems without batched puts pay
+// an internal dispatch round trip per put; systems without range queries or
+// column puts fail those ops.
+type Batcher interface {
+	Name() string
+	Exec(worker int, ops []Op) []Result
+	SupportsRange() bool
+	SupportsColumnPut() bool
+	Close()
+}
+
+// shard is a single-threaded executor: a goroutine applying closures in
+// order, modeling one event-loop process of a partitioned store.
+type shard struct {
+	ch chan shardReq
+}
+
+type shardReq struct {
+	fn   func()
+	done chan struct{}
+}
+
+func newShard() *shard {
+	s := &shard{ch: make(chan shardReq, 64)}
+	go func() {
+		for r := range s.ch {
+			r.fn()
+			close(r.done)
+		}
+	}()
+	return s
+}
+
+// do runs fn on the shard's executor and waits — one dispatch round trip.
+func (s *shard) do(fn func()) {
+	r := shardReq{fn: fn, done: make(chan struct{})}
+	s.ch <- r
+	<-r.done
+}
+
+func (s *shard) close() { close(s.ch) }

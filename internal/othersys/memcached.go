@@ -1,0 +1,124 @@
+package othersys
+
+import (
+	"hash/fnv"
+
+	"repro/internal/baseline/hashtable"
+	"repro/internal/value"
+)
+
+// Memcachedlike models memcached as the paper ran it: 16 independent
+// hash-table processes, keys partitioned by hash, no persistence, no range
+// queries, whole-value storage. The client library batches gets (one
+// round trip per shard per batch) but not puts (one round trip each), which
+// is why memcached's update throughput craters in Figure 13.
+type Memcachedlike struct {
+	shards []*shard
+	tables []*hashtable.Table
+}
+
+// NewMemcachedlike creates a store with the given shard count and expected
+// capacity (bucket sizing).
+func NewMemcachedlike(shards, capacity int) *Memcachedlike {
+	m := &Memcachedlike{}
+	for i := 0; i < shards; i++ {
+		m.shards = append(m.shards, newShard())
+		m.tables = append(m.tables, hashtable.New(3*capacity/shards+16))
+	}
+	return m
+}
+
+// Name implements Batcher.
+func (m *Memcachedlike) Name() string { return "memcached-like" }
+
+// SupportsRange implements Batcher: hash tables cannot scan in key order.
+func (m *Memcachedlike) SupportsRange() bool { return false }
+
+// SupportsColumnPut implements Batcher: memcached stores opaque values, so
+// individual-column updates (MYCSB-A/B) are unsupported.
+func (m *Memcachedlike) SupportsColumnPut() bool { return false }
+
+func (m *Memcachedlike) shardFor(key []byte) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32()) % len(m.shards)
+}
+
+// Exec implements Batcher. Gets are grouped per shard into one dispatch;
+// every put dispatches alone.
+func (m *Memcachedlike) Exec(worker int, ops []Op) []Result {
+	res := make([]Result, len(ops))
+	type idxOp struct {
+		i  int
+		op *Op
+	}
+	getsByShard := map[int][]idxOp{}
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case OpGet:
+			s := m.shardFor(op.Key)
+			getsByShard[s] = append(getsByShard[s], idxOp{i, op})
+		case OpPut:
+			// Whole-value puts only: a put must cover columns 0..n-1
+			// contiguously from 0 (an opaque value blob).
+			if !wholeValue(op.Puts) {
+				res[i] = Result{OK: false}
+				continue
+			}
+			s := m.shardFor(op.Key)
+			i := i
+			m.shards[s].do(func() { // unbatched: one round trip per put
+				cols := make([][]byte, len(op.Puts))
+				for c, p := range op.Puts {
+					cols[c] = p.Data
+				}
+				m.tables[s].Put(op.Key, value.New(cols...))
+				res[i] = Result{OK: true}
+			})
+		case OpScan:
+			res[i] = Result{OK: false}
+		}
+	}
+	for s, batch := range getsByShard {
+		s, batch := s, batch
+		m.shards[s].do(func() { // batched: one round trip per shard
+			for _, io := range batch {
+				v, ok := m.tables[s].Get(io.op.Key)
+				if !ok {
+					res[io.i] = Result{OK: false}
+					continue
+				}
+				res[io.i] = Result{OK: true, Cols: pickCols(v, io.op.Cols)}
+			}
+		})
+	}
+	return res
+}
+
+func wholeValue(puts []value.ColPut) bool {
+	for i, p := range puts {
+		if p.Col != i {
+			return false
+		}
+	}
+	return len(puts) > 0
+}
+
+func pickCols(v *value.Value, cols []int) [][]byte {
+	if cols == nil {
+		return v.Cols()
+	}
+	out := make([][]byte, len(cols))
+	for i, c := range cols {
+		out[i] = v.Col(c)
+	}
+	return out
+}
+
+// Close implements Batcher.
+func (m *Memcachedlike) Close() {
+	for _, s := range m.shards {
+		s.close()
+	}
+}

@@ -1,0 +1,184 @@
+package othersys
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/baseline/btree"
+	"repro/internal/value"
+)
+
+// Mongolike models MongoDB 2.0 as the paper ran it: eight processes, each a
+// B-tree "_id" index over documents on an in-memory filesystem, with the
+// era's per-process global readers-writer lock and BSON document encoding
+// and decoding on every operation. Its client library does not batch
+// queries (Figure 12), so every op pays its own dispatch. Range queries are
+// supported (it is a tree store — one of only two comparators that can run
+// MYCSB-E).
+type Mongolike struct {
+	shards []*mongoShard
+}
+
+type mongoShard struct {
+	mu   sync.RWMutex
+	tree *btree.Tree
+	exec *shard
+}
+
+// NewMongolike creates a store with the given shard (process) count.
+func NewMongolike(shards int) *Mongolike {
+	m := &Mongolike{}
+	for i := 0; i < shards; i++ {
+		m.shards = append(m.shards, &mongoShard{tree: btree.New(btree.WithPermuter()), exec: newShard()})
+	}
+	return m
+}
+
+// Name implements Batcher.
+func (m *Mongolike) Name() string { return "mongodb-like" }
+
+// SupportsRange implements Batcher.
+func (m *Mongolike) SupportsRange() bool { return true }
+
+// SupportsColumnPut implements Batcher (named-column documents).
+func (m *Mongolike) SupportsColumnPut() bool { return true }
+
+func (m *Mongolike) shardFor(key []byte) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32()) % len(m.shards)
+}
+
+// bsonEncode flattens columns into a BSON-ish document blob: the real
+// serialization work MongoDB performs per document write.
+func bsonEncode(cols [][]byte) []byte {
+	n := 4
+	for _, c := range cols {
+		n += 8 + len(c)
+	}
+	out := make([]byte, 0, n)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(cols)))
+	for i, c := range cols {
+		out = binary.LittleEndian.AppendUint32(out, uint32(i))
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(c)))
+		out = append(out, c...)
+	}
+	return out
+}
+
+// bsonDecode parses a document blob back into columns.
+func bsonDecode(b []byte) [][]byte {
+	if len(b) < 4 {
+		return nil
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	cols := make([][]byte, n)
+	for i := 0; i < n && len(b) >= 8; i++ {
+		idx := int(binary.LittleEndian.Uint32(b))
+		l := int(binary.LittleEndian.Uint32(b[4:]))
+		b = b[8:]
+		if l > len(b) || idx >= n {
+			break
+		}
+		cols[idx] = b[:l]
+		b = b[l:]
+	}
+	return cols
+}
+
+// Exec implements Batcher: no client batching, so each op dispatches alone
+// through its shard's executor, taking the shard-global lock.
+func (m *Mongolike) Exec(worker int, ops []Op) []Result {
+	res := make([]Result, len(ops))
+	for i := range ops {
+		op := &ops[i]
+		s := m.shards[m.shardFor(op.Key)]
+		i := i
+		s.exec.do(func() {
+			switch op.Kind {
+			case OpGet:
+				s.mu.RLock()
+				v, ok := s.tree.Get(op.Key)
+				s.mu.RUnlock()
+				if !ok {
+					res[i] = Result{OK: false}
+					return
+				}
+				doc := bsonDecode(v.Bytes())
+				res[i] = Result{OK: true, Cols: pickColsSlice(doc, op.Cols)}
+			case OpPut:
+				s.mu.Lock()
+				old, _ := s.tree.Get(op.Key)
+				var doc [][]byte
+				if old != nil {
+					doc = bsonDecode(old.Bytes())
+				}
+				doc = applyPuts(doc, op.Puts)
+				s.tree.Put(op.Key, value.New(bsonEncode(doc)))
+				s.mu.Unlock()
+				res[i] = Result{OK: true}
+			case OpScan:
+				res[i] = m.scanAll(op)
+			}
+		})
+	}
+	return res
+}
+
+// scanAll serves a range query: because keys are hash-partitioned, every
+// shard must contribute (scatter-gather) and the results merge by key.
+func (m *Mongolike) scanAll(op *Op) Result {
+	var all []Pair
+	for _, s := range m.shards {
+		s.mu.RLock()
+		keys, vals := s.tree.GetRange(op.Key, op.N)
+		s.mu.RUnlock()
+		for i, k := range keys {
+			all = append(all, Pair{Key: k, Cols: pickColsSlice(bsonDecode(vals[i].Bytes()), op.Cols)})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return bytes.Compare(all[i].Key, all[j].Key) < 0 })
+	if len(all) > op.N {
+		all = all[:op.N]
+	}
+	return Result{OK: true, Pairs: all}
+}
+
+func pickColsSlice(doc [][]byte, cols []int) [][]byte {
+	if cols == nil {
+		return doc
+	}
+	out := make([][]byte, len(cols))
+	for i, c := range cols {
+		if c < len(doc) {
+			out[i] = doc[c]
+		}
+	}
+	return out
+}
+
+func applyPuts(doc [][]byte, puts []value.ColPut) [][]byte {
+	width := len(doc)
+	for _, p := range puts {
+		if p.Col+1 > width {
+			width = p.Col + 1
+		}
+	}
+	out := make([][]byte, width)
+	copy(out, doc)
+	for _, p := range puts {
+		out[p.Col] = p.Data
+	}
+	return out
+}
+
+// Close implements Batcher.
+func (m *Mongolike) Close() {
+	for _, s := range m.shards {
+		s.exec.close()
+	}
+}

@@ -1,0 +1,61 @@
+// Package othersys provides architectural stand-ins for the closed or
+// external systems of Figure 13 — MongoDB, VoltDB, Redis, and memcached —
+// so the paper's system comparison can be regenerated in-process
+// (substitution documented in DESIGN.md).
+//
+// Each stand-in keeps the property the paper credits for the original's
+// behaviour, with overheads implemented as real work rather than sleeps:
+//
+//   - memcachedlike: hash-table shards behind single-threaded event loops;
+//     gets batch per shard, but each put pays its own dispatch round trip
+//     (the paper's memcached client library "does not support batched
+//     puts"). Whole-value only: no per-column puts (so no MYCSB-A/B) and no
+//     range queries. No persistence.
+//   - redislike: hash-table shards behind single-threaded event loops with
+//     an append-only log per shard (Redis's AOF; checkpointing and log
+//     rewriting disabled as in §7); commands are RESP-style serialized and
+//     parsed; gets and puts both pipeline. Column puts supported (the paper
+//     used Redis byte-range writes). No range queries.
+//   - mongolike: one B-tree index (the paper's "_id" B-tree) per shard
+//     guarded by a shard-global readers-writer lock (MongoDB 2.0's global
+//     lock), with BSON-style document encoding and decoding on every
+//     operation and no query batching. Range queries supported.
+//   - voltlike: statically partitioned single-threaded executors over
+//     sequential trees; every batch is dispatched as a stored-procedure
+//     transaction with per-transaction command serialization. Range queries
+//     scatter-gather across partitions. Batching supported.
+//
+// Absolute gaps versus the real systems are out of scope; the shapes the
+// experiment needs (hash stores win only uniform gets, partitioned stores
+// collapse under zipfian skew, unbatched puts crater throughput, only tree
+// stores serve ranges) follow from these structures.
+package othersys
+
+import (
+	"repro/internal/value"
+)
+
+// Pair is one range-query result.
+type Pair struct {
+	Key  []byte
+	Cols [][]byte
+}
+
+// System is the uniform interface the Figure 13 harness drives.
+type System interface {
+	// Name identifies the system in reports.
+	Name() string
+	// Get returns the requested columns (nil = all).
+	Get(worker int, key []byte, cols []int) ([][]byte, bool)
+	// Put applies column modifications. Unsupported column granularity
+	// returns false (memcachedlike accepts only full-width puts).
+	Put(worker int, key []byte, puts []value.ColPut) bool
+	// GetRange returns up to n pairs from start with the given columns;
+	// ok is false if the system cannot serve range queries.
+	GetRange(worker int, start []byte, n int, cols []int) ([]Pair, bool)
+	// BatchedGets/BatchedPuts report client batching support (Figure 12).
+	BatchedGets() bool
+	BatchedPuts() bool
+	// Close releases executors and files.
+	Close()
+}

@@ -1,0 +1,175 @@
+package othersys
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func systems(t *testing.T) map[string]Batcher {
+	t.Helper()
+	return map[string]Batcher{
+		"memcached": NewMemcachedlike(4, 1000),
+		"redis":     NewRedislike(4, 1000, t.TempDir()),
+		"mongo":     NewMongolike(2),
+		"volt":      NewVoltlike(4),
+	}
+}
+
+func fullPut(key []byte, cols ...[]byte) Op {
+	puts := make([]value.ColPut, len(cols))
+	for i, c := range cols {
+		puts[i] = value.ColPut{Col: i, Data: c}
+	}
+	return Op{Kind: OpPut, Key: key, Puts: puts}
+}
+
+func TestPutGetAcrossSystems(t *testing.T) {
+	for name, sys := range systems(t) {
+		t.Run(name, func(t *testing.T) {
+			defer sys.Close()
+			var ops []Op
+			for i := 0; i < 200; i++ {
+				ops = append(ops, fullPut([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("a%d", i)), []byte("b")))
+			}
+			res := sys.Exec(0, ops)
+			for i, r := range res {
+				if !r.OK {
+					t.Fatalf("put %d failed", i)
+				}
+			}
+			var gets []Op
+			for i := 0; i < 200; i++ {
+				gets = append(gets, Op{Kind: OpGet, Key: []byte(fmt.Sprintf("k%04d", i)), Cols: []int{0}})
+			}
+			res = sys.Exec(0, gets)
+			for i, r := range res {
+				if !r.OK || string(r.Cols[0]) != fmt.Sprintf("a%d", i) {
+					t.Fatalf("get %d: %+v", i, r)
+				}
+			}
+			// Missing keys.
+			res = sys.Exec(0, []Op{{Kind: OpGet, Key: []byte("missing")}})
+			if res[0].OK {
+				t.Fatal("phantom key")
+			}
+		})
+	}
+}
+
+func TestColumnPutSupport(t *testing.T) {
+	for name, sys := range systems(t) {
+		t.Run(name, func(t *testing.T) {
+			defer sys.Close()
+			sys.Exec(0, []Op{fullPut([]byte("k"), []byte("a"), []byte("b"), []byte("c"))})
+			// Partial column update.
+			res := sys.Exec(0, []Op{{Kind: OpPut, Key: []byte("k"), Puts: []value.ColPut{{Col: 1, Data: []byte("B")}}}})
+			if sys.SupportsColumnPut() {
+				if !res[0].OK {
+					t.Fatal("column put failed on supporting system")
+				}
+				got := sys.Exec(0, []Op{{Kind: OpGet, Key: []byte("k")}})
+				if string(got[0].Cols[0]) != "a" || string(got[0].Cols[1]) != "B" || string(got[0].Cols[2]) != "c" {
+					t.Fatalf("columns after partial put: %q", got[0].Cols)
+				}
+			} else if res[0].OK {
+				t.Fatal("column put succeeded on non-supporting system")
+			}
+		})
+	}
+}
+
+func TestRangeSupport(t *testing.T) {
+	for name, sys := range systems(t) {
+		t.Run(name, func(t *testing.T) {
+			defer sys.Close()
+			var ops []Op
+			var want []string
+			for i := 0; i < 100; i++ {
+				k := fmt.Sprintf("r%04d", i)
+				want = append(want, k)
+				ops = append(ops, fullPut([]byte(k), []byte("v")))
+			}
+			sys.Exec(0, ops)
+			sort.Strings(want)
+			res := sys.Exec(0, []Op{{Kind: OpScan, Key: []byte("r0010"), N: 20, Cols: []int{0}}})
+			if !sys.SupportsRange() {
+				if res[0].OK {
+					t.Fatal("range query succeeded on hash store")
+				}
+				return
+			}
+			if !res[0].OK {
+				t.Fatal("range query failed on tree store")
+			}
+			if len(res[0].Pairs) != 20 {
+				t.Fatalf("got %d pairs", len(res[0].Pairs))
+			}
+			for i, p := range res[0].Pairs {
+				if string(p.Key) != fmt.Sprintf("r%04d", 10+i) {
+					t.Fatalf("pair %d = %q", i, p.Key)
+				}
+				if !bytes.Equal(p.Cols[0], []byte("v")) {
+					t.Fatalf("pair %d value mismatch", i)
+				}
+			}
+		})
+	}
+}
+
+func TestBatchingDeclarations(t *testing.T) {
+	// Figure 12's table: batched gets/puts per system.
+	m := NewMemcachedlike(1, 10)
+	defer m.Close()
+	if m.SupportsColumnPut() || m.SupportsRange() {
+		t.Fatal("memcachedlike capabilities wrong")
+	}
+	r := NewRedislike(1, 10, "")
+	defer r.Close()
+	if !r.SupportsColumnPut() || r.SupportsRange() {
+		t.Fatal("redislike capabilities wrong")
+	}
+	mg := NewMongolike(1)
+	defer mg.Close()
+	if !mg.SupportsRange() {
+		t.Fatal("mongolike capabilities wrong")
+	}
+	v := NewVoltlike(1)
+	defer v.Close()
+	if !v.SupportsRange() || !v.SupportsColumnPut() {
+		t.Fatal("voltlike capabilities wrong")
+	}
+}
+
+func TestConcurrentWorkers(t *testing.T) {
+	for name, sys := range systems(t) {
+		t.Run(name, func(t *testing.T) {
+			defer sys.Close()
+			done := make(chan bool, 4)
+			for w := 0; w < 4; w++ {
+				go func(w int) {
+					ok := true
+					for i := 0; i < 200; i++ {
+						k := []byte(fmt.Sprintf("w%d-%03d", w, i))
+						res := sys.Exec(w, []Op{fullPut(k, k)})
+						ok = ok && res[0].OK
+					}
+					for i := 0; i < 200; i++ {
+						k := []byte(fmt.Sprintf("w%d-%03d", w, i))
+						res := sys.Exec(w, []Op{{Kind: OpGet, Key: k}})
+						ok = ok && res[0].OK && bytes.Equal(res[0].Cols[0], k)
+					}
+					done <- ok
+				}(w)
+			}
+			for w := 0; w < 4; w++ {
+				if !<-done {
+					t.Fatal("concurrent worker failed")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,163 @@
+package othersys
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/baseline/hashtable"
+	"repro/internal/value"
+)
+
+// Redislike models Redis as the paper ran it: 16 single-threaded hash-table
+// processes, each with its own append-only log (four SSDs in the paper;
+// checkpointing and log rewriting disabled), no range queries, column
+// updates via byte-range writes. The hiredis client pipelines both gets and
+// puts, so a whole batch costs one dispatch per shard. Commands are
+// serialized and parsed RESP-style on both sides of the dispatch, which is
+// where Redis's per-op protocol cost lives.
+type Redislike struct {
+	shards []*shard
+	tables []*hashtable.Table
+	logs   []*aofLog
+}
+
+type aofLog struct {
+	mu  sync.Mutex
+	f   *os.File
+	buf []byte
+}
+
+func (l *aofLog) append(cmd []byte) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.buf = append(l.buf, cmd...)
+	if len(l.buf) >= 1<<16 {
+		l.flush()
+	}
+	l.mu.Unlock()
+}
+
+func (l *aofLog) flush() {
+	if l.f != nil && len(l.buf) > 0 {
+		l.f.Write(l.buf)
+	}
+	l.buf = l.buf[:0]
+}
+
+// NewRedislike creates a store with the given shard count and capacity.
+// dir, when non-empty, hosts per-shard append-only logs.
+func NewRedislike(shards, capacity int, dir string) *Redislike {
+	r := &Redislike{}
+	for i := 0; i < shards; i++ {
+		r.shards = append(r.shards, newShard())
+		r.tables = append(r.tables, hashtable.New(3*capacity/shards+16))
+		var l *aofLog
+		if dir != "" {
+			f, err := os.Create(filepath.Join(dir, "aof-"+string(rune('a'+i))+".log"))
+			if err == nil {
+				l = &aofLog{f: f}
+			}
+		}
+		r.logs = append(r.logs, l)
+	}
+	return r
+}
+
+// Name implements Batcher.
+func (r *Redislike) Name() string { return "redis-like" }
+
+// SupportsRange implements Batcher.
+func (r *Redislike) SupportsRange() bool { return false }
+
+// SupportsColumnPut implements Batcher (byte-range SETRANGE writes).
+func (r *Redislike) SupportsColumnPut() bool { return true }
+
+func (r *Redislike) shardFor(key []byte) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32()) % len(r.shards)
+}
+
+// respEncode serializes a command RESP-style (the real protocol work a
+// Redis round trip performs).
+func respEncode(verb string, key []byte, args ...[]byte) []byte {
+	out := make([]byte, 0, 32+len(key))
+	out = append(out, '*')
+	out = binary.AppendVarint(out, int64(2+len(args)))
+	out = append(out, '$')
+	out = binary.AppendVarint(out, int64(len(verb)))
+	out = append(out, verb...)
+	out = append(out, '$')
+	out = binary.AppendVarint(out, int64(len(key)))
+	out = append(out, key...)
+	for _, a := range args {
+		out = append(out, '$')
+		out = binary.AppendVarint(out, int64(len(a)))
+		out = append(out, a...)
+	}
+	return out
+}
+
+// Exec implements Batcher: all ops pipeline, grouped by shard.
+func (r *Redislike) Exec(worker int, ops []Op) []Result {
+	res := make([]Result, len(ops))
+	type idxOp struct {
+		i  int
+		op *Op
+	}
+	byShard := map[int][]idxOp{}
+	for i := range ops {
+		op := &ops[i]
+		if op.Kind == OpScan {
+			res[i] = Result{OK: false}
+			continue
+		}
+		s := r.shardFor(op.Key)
+		byShard[s] = append(byShard[s], idxOp{i, op})
+	}
+	for s, batch := range byShard {
+		s, batch := s, batch
+		r.shards[s].do(func() {
+			for _, io := range batch {
+				switch io.op.Kind {
+				case OpGet:
+					_ = respEncode("GET", io.op.Key)
+					v, ok := r.tables[s].Get(io.op.Key)
+					if !ok {
+						res[io.i] = Result{OK: false}
+						continue
+					}
+					res[io.i] = Result{OK: true, Cols: pickCols(v, io.op.Cols)}
+				case OpPut:
+					for _, p := range io.op.Puts {
+						r.logs[s].append(respEncode("SETRANGE", io.op.Key, p.Data))
+					}
+					old, _ := r.tables[s].Get(io.op.Key)
+					r.tables[s].Put(io.op.Key, value.Apply(old, io.op.Puts))
+					res[io.i] = Result{OK: true}
+				}
+			}
+		})
+	}
+	return res
+}
+
+// Close implements Batcher.
+func (r *Redislike) Close() {
+	for i, s := range r.shards {
+		s.close()
+		if l := r.logs[i]; l != nil {
+			l.mu.Lock()
+			l.flush()
+			if l.f != nil {
+				l.f.Close()
+			}
+			l.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package othersys
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/baseline/seqtree"
+	"repro/internal/value"
+)
+
+// Voltlike models VoltDB as the paper ran it: data statically partitioned
+// across single-threaded execution sites (four processes with four sites
+// each = 16 executors; replication off), every operation running as a
+// stored-procedure transaction. The client batches invocations (Figure 12),
+// but each invocation still pays transaction dispatch: serialization of the
+// procedure call into a command record, single-threaded execution at the
+// owning site. Range queries work but must scatter-gather across sites,
+// which is why VoltDB's getrange throughput lags its gets (§7).
+type Voltlike struct {
+	shards []*voltSite
+}
+
+type voltSite struct {
+	tree *seqtree.Tree
+	exec *shard
+}
+
+// NewVoltlike creates a store with the given number of execution sites.
+func NewVoltlike(sites int) *Voltlike {
+	v := &Voltlike{}
+	for i := 0; i < sites; i++ {
+		v.shards = append(v.shards, &voltSite{tree: seqtree.New(), exec: newShard()})
+	}
+	return v
+}
+
+// Name implements Batcher.
+func (v *Voltlike) Name() string { return "voltdb-like" }
+
+// SupportsRange implements Batcher.
+func (v *Voltlike) SupportsRange() bool { return true }
+
+// SupportsColumnPut implements Batcher (relational columns).
+func (v *Voltlike) SupportsColumnPut() bool { return true }
+
+func (v *Voltlike) siteFor(key []byte) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32()) % len(v.shards)
+}
+
+// txnEncode serializes a stored-procedure invocation — the per-transaction
+// command work every VoltDB operation performs.
+func txnEncode(op *Op) []byte {
+	out := make([]byte, 0, 24+len(op.Key))
+	out = append(out, byte(op.Kind))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(op.Key)))
+	out = append(out, op.Key...)
+	for _, p := range op.Puts {
+		out = binary.LittleEndian.AppendUint32(out, uint32(p.Col))
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(p.Data)))
+		out = append(out, p.Data...)
+	}
+	return out
+}
+
+// Exec implements Batcher: invocations group per site (client batching) and
+// run serially at the owning site, one transaction each.
+func (v *Voltlike) Exec(worker int, ops []Op) []Result {
+	res := make([]Result, len(ops))
+	type idxOp struct {
+		i  int
+		op *Op
+	}
+	bySite := map[int][]idxOp{}
+	var scans []idxOp
+	for i := range ops {
+		op := &ops[i]
+		if op.Kind == OpScan {
+			scans = append(scans, idxOp{i, op})
+			continue
+		}
+		s := v.siteFor(op.Key)
+		bySite[s] = append(bySite[s], idxOp{i, op})
+	}
+	for s, batch := range bySite {
+		site := v.shards[s]
+		batch := batch
+		site.exec.do(func() {
+			for _, io := range batch {
+				_ = txnEncode(io.op) // per-transaction command serialization
+				switch io.op.Kind {
+				case OpGet:
+					val, ok := site.tree.Get(io.op.Key)
+					if !ok {
+						res[io.i] = Result{OK: false}
+						continue
+					}
+					res[io.i] = Result{OK: true, Cols: pickCols(val, io.op.Cols)}
+				case OpPut:
+					site.tree.Update(io.op.Key, func(old *value.Value) *value.Value {
+						return value.Apply(old, io.op.Puts)
+					})
+					res[io.i] = Result{OK: true}
+				}
+			}
+		})
+	}
+	// Range queries: multi-partition transactions — scatter-gather.
+	for _, io := range scans {
+		res[io.i] = v.scanAll(io.op)
+	}
+	return res
+}
+
+func (v *Voltlike) scanAll(op *Op) Result {
+	var all []Pair
+	for _, site := range v.shards {
+		site := site
+		site.exec.do(func() {
+			_ = txnEncode(op)
+			cnt := 0
+			site.tree.Scan(op.Key, func(k []byte, val *value.Value) bool {
+				all = append(all, Pair{Key: append([]byte(nil), k...), Cols: pickCols(val, op.Cols)})
+				cnt++
+				return cnt < op.N // each site contributes at most N
+			})
+		})
+	}
+	sort.Slice(all, func(i, j int) bool { return bytes.Compare(all[i].Key, all[j].Key) < 0 })
+	if len(all) > op.N {
+		all = all[:op.N]
+	}
+	return Result{OK: true, Pairs: all}
+}
+
+// Close implements Batcher.
+func (v *Voltlike) Close() {
+	for _, s := range v.shards {
+		s.exec.close()
+	}
+}

@@ -1,0 +1,194 @@
+// Package server implements the Masstree network server (§5): a TCP
+// listener whose per-connection goroutines execute batched queries against
+// the store. The paper's benchmarks use long-lived TCP query connections
+// from few clients or client aggregators, "a common operating mode that is
+// equally effective at avoiding network overhead"; batching many queries per
+// message amortizes network and syscall costs.
+//
+// Each connection is bound to a worker id (round-robin), which selects the
+// log its puts append to — the paper's per-core logs mapped onto Go's
+// scheduler.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/kvstore"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// Server serves a kvstore over TCP.
+type Server struct {
+	store *kvstore.Store
+	ln    net.Listener
+
+	nextWorker atomic.Int64
+	workers    int
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	udp   []*udpListener
+	wg    sync.WaitGroup
+	done  atomic.Bool
+}
+
+// New creates a server for store with the given number of logical workers
+// (log streams). workers <= 0 defaults to 1.
+func New(store *kvstore.Store, workers int) *Server {
+	if workers <= 0 {
+		workers = 1
+	}
+	return &Server{store: store, workers: workers, conns: map[net.Conn]struct{}{}}
+}
+
+// Listen starts accepting connections on addr ("host:port"; ":0" picks a
+// free port). It returns immediately; Addr reports the bound address.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		s.mu.Lock()
+		if s.done.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		worker := int(s.nextWorker.Add(1)-1) % s.workers
+		s.wg.Add(1)
+		go s.serveConn(conn, worker)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn, worker int) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	sess := s.store.Session(worker)
+	defer sess.Close()
+	r := bufio.NewReaderSize(conn, 1<<16)
+	w := bufio.NewWriterSize(conn, 1<<16)
+	resps := make([]wire.Response, 0, 64)
+	for {
+		reqs, err := wire.ReadRequests(r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				// Protocol error: drop the connection.
+				return
+			}
+			return
+		}
+		resps = resps[:0]
+		for i := range reqs {
+			resps = append(resps, s.execute(sess, &reqs[i]))
+		}
+		if err := wire.WriteResponses(w, resps); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) execute(sess *kvstore.Session, r *wire.Request) wire.Response {
+	switch r.Op {
+	case wire.OpGet:
+		cols, ok := sess.Get(r.Key, r.Cols)
+		if !ok {
+			return wire.Response{Status: wire.StatusNotFound}
+		}
+		return wire.Response{Status: wire.StatusOK, Cols: cols}
+	case wire.OpPut:
+		puts := make([]value.ColPut, len(r.Puts))
+		for i, p := range r.Puts {
+			puts[i] = value.ColPut{Col: p.Col, Data: p.Data}
+		}
+		ver := sess.Put(r.Key, puts)
+		return wire.Response{Status: wire.StatusOK, Version: ver}
+	case wire.OpRemove:
+		if sess.Remove(r.Key) {
+			return wire.Response{Status: wire.StatusOK}
+		}
+		return wire.Response{Status: wire.StatusNotFound}
+	case wire.OpGetRange:
+		pairs := sess.GetRange(r.Key, r.N, r.Cols)
+		out := make([]wire.Pair, len(pairs))
+		for i, p := range pairs {
+			out[i] = wire.Pair{Key: p.Key, Cols: p.Cols}
+		}
+		return wire.Response{Status: wire.StatusOK, Pairs: out}
+	case wire.OpStats:
+		return s.statsResponse()
+	default:
+		return wire.Response{Status: wire.StatusError}
+	}
+}
+
+// statsResponse reports store size and tree operation counters as metric
+// name/value pairs.
+func (s *Server) statsResponse() wire.Response {
+	st := s.store.Stats()
+	metric := func(name string, v int64) wire.Pair {
+		return wire.Pair{Key: []byte(name), Cols: [][]byte{[]byte(strconv.FormatInt(v, 10))}}
+	}
+	return wire.Response{Status: wire.StatusOK, Pairs: []wire.Pair{
+		metric("keys", int64(s.store.Len())),
+		metric("splits", st.Splits),
+		metric("layer_creations", st.LayerCreations),
+		metric("layer_collapses", st.LayerCollapses),
+		metric("node_deletes", st.NodeDeletes),
+		metric("root_retries", st.RootRetries),
+		metric("local_retries", st.LocalRetries),
+		metric("slot_reuses", st.SlotReuses),
+	}}
+}
+
+// Close stops accepting, closes all connections and UDP sockets, and waits
+// for handlers.
+func (s *Server) Close() error {
+	s.done.Store(true)
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	for _, l := range s.udp {
+		l.conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+
+	"repro/internal/wire"
+)
+
+// UDP support (§5): "To support short connections efficiently, Masstree can
+// configure per-core UDP ports that are each associated with a single core's
+// receive queue." Each UDP socket here is owned by one worker goroutine
+// bound to one worker id (one log stream), mirroring the paper's per-core
+// receive queues. A datagram carries one framed request batch; the response
+// batch returns in one datagram, so batches must fit the configured MTU.
+type udpListener struct {
+	conn   *net.UDPConn
+	worker int
+}
+
+// maxUDPDatagram bounds request and response datagrams.
+const maxUDPDatagram = 60 * 1024
+
+// ListenUDP opens n consecutive UDP ports starting at basePort, one per
+// worker, each served by its own goroutine. Port 0 with n == 1 picks a free
+// port; Addrs reports the bound addresses.
+func (s *Server) ListenUDP(host string, basePort, n int) ([]*net.UDPAddr, error) {
+	if n <= 0 {
+		n = 1
+	}
+	var addrs []*net.UDPAddr
+	for i := 0; i < n; i++ {
+		port := 0
+		if basePort != 0 {
+			port = basePort + i
+		}
+		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.ParseIP(host), Port: port})
+		if err != nil {
+			return nil, fmt.Errorf("server: udp port %d: %w", port, err)
+		}
+		l := &udpListener{conn: conn, worker: i % s.workers}
+		s.mu.Lock()
+		s.udp = append(s.udp, l)
+		s.mu.Unlock()
+		addrs = append(addrs, conn.LocalAddr().(*net.UDPAddr))
+		s.wg.Add(1)
+		go s.serveUDP(l)
+	}
+	return addrs, nil
+}
+
+func (s *Server) serveUDP(l *udpListener) {
+	defer s.wg.Done()
+	sess := s.store.Session(l.worker)
+	defer sess.Close()
+	buf := make([]byte, maxUDPDatagram)
+	resps := make([]wire.Response, 0, 64)
+	var out bytes.Buffer
+	for {
+		n, peer, err := l.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		reqs, err := wire.ReadRequests(bufio.NewReader(bytes.NewReader(buf[:n])))
+		if err != nil {
+			continue // drop malformed datagrams
+		}
+		resps = resps[:0]
+		for i := range reqs {
+			resps = append(resps, s.execute(sess, &reqs[i]))
+		}
+		out.Reset()
+		w := bufio.NewWriter(&out)
+		if err := wire.WriteResponses(w, resps); err != nil {
+			continue
+		}
+		if out.Len() > maxUDPDatagram {
+			continue // response too large for a datagram; client times out
+		}
+		l.conn.WriteToUDP(out.Bytes(), peer)
+	}
+}

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/kvstore"
+	"repro/internal/wire"
+)
+
+func startUDPServer(t *testing.T, ports int) (*Server, []*net.UDPAddr) {
+	t.Helper()
+	store, err := kvstore.Open(kvstore.Config{MaintainEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(store, ports)
+	addrs, err := srv.ListenUDP("127.0.0.1", 0, ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		store.Close()
+	})
+	return srv, addrs
+}
+
+func TestUDPEndToEnd(t *testing.T) {
+	_, addrs := startUDPServer(t, 1)
+	c, err := client.DialUDP(addrs[0].String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	resps, err := c.Do([]wire.Request{
+		{Op: wire.OpPut, Key: []byte("k"), Puts: []wire.ColData{{Col: 0, Data: []byte("v")}}},
+		{Op: wire.OpGet, Key: []byte("k")},
+		{Op: wire.OpGet, Key: []byte("missing")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resps[0].Status != wire.StatusOK {
+		t.Fatal("put failed")
+	}
+	if resps[1].Status != wire.StatusOK || string(resps[1].Cols[0]) != "v" {
+		t.Fatalf("get: %+v", resps[1])
+	}
+	if resps[2].Status != wire.StatusNotFound {
+		t.Fatal("phantom key over UDP")
+	}
+}
+
+func TestUDPPerCorePorts(t *testing.T) {
+	// The paper's per-core UDP ports: distinct sockets, each bound to one
+	// worker's log stream; all serve the same store.
+	_, addrs := startUDPServer(t, 3)
+	if len(addrs) != 3 {
+		t.Fatalf("got %d ports", len(addrs))
+	}
+	seen := map[int]bool{}
+	for _, a := range addrs {
+		if seen[a.Port] {
+			t.Fatal("duplicate port")
+		}
+		seen[a.Port] = true
+	}
+	// Write through port 0, read through port 2: shared tree.
+	c0, _ := client.DialUDP(addrs[0].String(), time.Second)
+	defer c0.Close()
+	c2, _ := client.DialUDP(addrs[2].String(), time.Second)
+	defer c2.Close()
+	if _, err := c0.Do([]wire.Request{{Op: wire.OpPut, Key: []byte("x"), Puts: []wire.ColData{{Col: 0, Data: []byte("1")}}}}); err != nil {
+		t.Fatal(err)
+	}
+	resps, err := c2.Do([]wire.Request{{Op: wire.OpGet, Key: []byte("x")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resps[0].Status != wire.StatusOK || string(resps[0].Cols[0]) != "1" {
+		t.Fatal("cross-port read failed: store not shared")
+	}
+}
+
+func TestUDPBatch(t *testing.T) {
+	_, addrs := startUDPServer(t, 1)
+	c, _ := client.DialUDP(addrs[0].String(), time.Second)
+	defer c.Close()
+	const batch = 200
+	reqs := make([]wire.Request, batch)
+	for i := range reqs {
+		reqs[i] = wire.Request{Op: wire.OpPut, Key: []byte(fmt.Sprintf("b%04d", i)),
+			Puts: []wire.ColData{{Col: 0, Data: []byte("v")}}}
+	}
+	resps, err := c.Do(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range resps {
+		if r.Status != wire.StatusOK {
+			t.Fatalf("put %d failed", i)
+		}
+	}
+}
+
+func TestUDPMalformedDatagramIgnored(t *testing.T) {
+	_, addrs := startUDPServer(t, 1)
+	raw, err := net.Dial("udp", addrs[0].String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Write([]byte("not-a-frame"))
+	raw.Close()
+	// Server must still serve valid clients.
+	c, _ := client.DialUDP(addrs[0].String(), time.Second)
+	defer c.Close()
+	if _, err := c.Do([]wire.Request{{Op: wire.OpPut, Key: []byte("k"), Puts: []wire.ColData{{Col: 0, Data: []byte("v")}}}}); err != nil {
+		t.Fatalf("server wedged by malformed datagram: %v", err)
+	}
+}
+
+func TestTCPPipelining(t *testing.T) {
+	_, addr := startServer(t, "")
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Three batches in flight before reading any responses.
+	for b := 0; b < 3; b++ {
+		reqs := make([]wire.Request, 10)
+		for i := range reqs {
+			reqs[i] = wire.Request{Op: wire.OpPut, Key: []byte(fmt.Sprintf("p%d-%d", b, i)),
+				Puts: []wire.ColData{{Col: 0, Data: []byte("v")}}}
+		}
+		if err := c.Send(reqs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for b := 0; b < 3; b++ {
+		resps, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resps) != 10 {
+			t.Fatalf("batch %d: %d responses", b, len(resps))
+		}
+		for _, r := range resps {
+			if r.Status != wire.StatusOK {
+				t.Fatal("pipelined put failed")
+			}
+		}
+	}
+	// All writes visible afterwards.
+	got, ok, err := c.Get([]byte("p2-9"), nil)
+	if err != nil || !ok || string(got[0]) != "v" {
+		t.Fatalf("pipelined write lost: %v %v %v", got, ok, err)
+	}
+}

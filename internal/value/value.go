@@ -1,0 +1,131 @@
+// Package value implements Masstree's value objects (§4.7 of the paper).
+//
+// A Value is a version number plus an array of variable-length byte strings
+// called columns. Values are immutable once published: a put that modifies a
+// subset of columns builds a fresh Value, copying unmodified columns from the
+// old object, and swings a single pointer. Concurrent readers therefore see
+// either all or none of a multi-column put.
+//
+// Sequential updates to a value obtain distinct, increasing version numbers;
+// the version is written to the log and used during recovery to apply a
+// value's updates in order (§5).
+package value
+
+import "fmt"
+
+// Value is an immutable multi-column value. The zero Value has no columns.
+//
+// Values must not be mutated after they are published to a shared data
+// structure; all update paths go through Apply, which copies.
+type Value struct {
+	version uint64
+	cols    [][]byte
+}
+
+// ColPut describes a modification of one column.
+type ColPut struct {
+	Col  int    // column index, >= 0
+	Data []byte // new column contents (retained; caller must not mutate)
+}
+
+// New returns a fresh Value with version 1 holding the given columns.
+// The column slices are retained, not copied.
+func New(cols ...[]byte) *Value {
+	return &Value{version: 1, cols: cols}
+}
+
+// NewAt is New with an explicit version, used by log replay and checkpoint
+// loading to reconstruct the exact pre-crash version numbers.
+func NewAt(version uint64, cols ...[]byte) *Value {
+	return &Value{version: version, cols: cols}
+}
+
+// Version returns the value's update version number.
+func (v *Value) Version() uint64 {
+	if v == nil {
+		return 0
+	}
+	return v.version
+}
+
+// NumCols returns the number of columns.
+func (v *Value) NumCols() int {
+	if v == nil {
+		return 0
+	}
+	return len(v.cols)
+}
+
+// Col returns column i, or nil if the column does not exist.
+// The returned slice must not be mutated.
+func (v *Value) Col(i int) []byte {
+	if v == nil || i < 0 || i >= len(v.cols) {
+		return nil
+	}
+	return v.cols[i]
+}
+
+// Cols returns all columns. The returned slice and its elements must not be
+// mutated.
+func (v *Value) Cols() [][]byte {
+	if v == nil {
+		return nil
+	}
+	return v.cols
+}
+
+// Bytes returns column 0; it is the natural accessor for single-column
+// values, which is how simple get/put workloads use the store.
+func (v *Value) Bytes() []byte { return v.Col(0) }
+
+// Apply returns a new Value with the given column modifications applied and
+// the version advanced past old's. old may be nil (pure insert). Unmodified
+// columns are shared structurally with old, which is safe because values are
+// immutable. Column indexes beyond the current width grow the column array;
+// intervening columns are empty.
+func Apply(old *Value, puts []ColPut) *Value {
+	width := old.NumCols()
+	for _, p := range puts {
+		if p.Col < 0 {
+			panic(fmt.Sprintf("value: negative column index %d", p.Col))
+		}
+		if p.Col+1 > width {
+			width = p.Col + 1
+		}
+	}
+	cols := make([][]byte, width)
+	copy(cols, old.Cols())
+	for _, p := range puts {
+		cols[p.Col] = p.Data
+	}
+	return &Value{version: old.Version() + 1, cols: cols}
+}
+
+// ApplyAt is Apply with an explicit new version, used by log replay.
+func ApplyAt(old *Value, puts []ColPut, version uint64) *Value {
+	nv := Apply(old, puts)
+	nv.version = version
+	return nv
+}
+
+// Equal reports whether two values have identical columns (versions are not
+// compared). Used by tests.
+func Equal(a, b *Value) bool {
+	if a.NumCols() != b.NumCols() {
+		return false
+	}
+	for i := 0; i < a.NumCols(); i++ {
+		if string(a.Col(i)) != string(b.Col(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer for debugging.
+func (v *Value) String() string {
+	if v == nil {
+		return "<nil>"
+	}
+	return fmt.Sprintf("v%d%q", v.version, v.cols)
+}

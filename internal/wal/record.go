@@ -1,0 +1,153 @@
+// Package wal implements Masstree's logging and log recovery (§5).
+//
+// Each server query worker owns its own log file and in-memory log buffer.
+// A put appends to the worker's buffer and responds to the client without
+// forcing the buffer to storage; a background logging goroutine writes out
+// batches, forcing logs to storage at least every FlushInterval (200 ms in
+// the paper) for safety. Different logs may live on different devices for
+// higher total throughput.
+//
+// Value version numbers and log record timestamps aid recovery. This
+// implementation draws both from one global monotonic counter assigned under
+// the owning border node's lock, so a value's log records are strictly
+// ordered even across remove/re-insert cycles and across workers. When
+// restoring, recovery computes the cutoff t = min over logs of that log's
+// last timestamp, drops records beyond t, and replays each key's surviving
+// updates in increasing version order.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/value"
+)
+
+// Op identifies a logged operation.
+type Op uint8
+
+const (
+	// OpPut logs a (possibly partial, multi-column) put.
+	OpPut Op = 1
+	// OpRemove logs a key removal.
+	OpRemove Op = 2
+	// OpMark is a timestamp heartbeat carrying no data. A clean shutdown
+	// writes one to every log at the store's current clock so the recovery
+	// cutoff t = min over logs of the last timestamp does not discard the
+	// durable tail of logs that happened to receive more traffic. After a
+	// crash, logs without a trailing mark make the cutoff conservative,
+	// exactly as the paper intends: an update beyond t may causally depend
+	// on an update some other log never made durable.
+	OpMark Op = 3
+)
+
+// Record is one logged update.
+type Record struct {
+	TS   uint64 // timestamp == value version (global monotonic counter)
+	Op   Op
+	Key  []byte
+	Puts []value.ColPut // column modifications; nil for OpRemove
+}
+
+// fileMagic begins every log file.
+var fileMagic = []byte("MTLOG1\n")
+
+var (
+	// ErrCorrupt reports a log whose header or a leading record is invalid.
+	ErrCorrupt = errors.New("wal: corrupt log")
+)
+
+// appendRecord serializes r onto buf. Layout (little endian):
+//
+//	crc32(payload) u32 | payloadLen u32 | payload
+//	payload: ts u64 | op u8 | keyLen u32 | key |
+//	         ncols u16 | { col u16 | dataLen u32 | data }*
+//
+// A torn tail write invalidates the crc, so recovery stops cleanly at the
+// last complete record (group commit may lose the unforced tail, which the
+// paper accepts — those puts were never durable).
+func appendRecord(buf []byte, r *Record) []byte {
+	payload := make([]byte, 0, 16+len(r.Key)+32)
+	payload = binary.LittleEndian.AppendUint64(payload, r.TS)
+	payload = append(payload, byte(r.Op))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(r.Key)))
+	payload = append(payload, r.Key...)
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(r.Puts)))
+	for _, p := range r.Puts {
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(p.Col))
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(p.Data)))
+		payload = append(payload, p.Data...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	return append(buf, payload...)
+}
+
+// parseRecord decodes one record from b, returning the record and the number
+// of bytes consumed. A short or corrupt prefix returns n == 0.
+func parseRecord(b []byte) (Record, int) {
+	if len(b) < 8 {
+		return Record{}, 0
+	}
+	crc := binary.LittleEndian.Uint32(b)
+	plen := int(binary.LittleEndian.Uint32(b[4:]))
+	if plen < 15 || len(b) < 8+plen {
+		return Record{}, 0
+	}
+	payload := b[8 : 8+plen]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return Record{}, 0
+	}
+	var r Record
+	r.TS = binary.LittleEndian.Uint64(payload)
+	r.Op = Op(payload[8])
+	klen := int(binary.LittleEndian.Uint32(payload[9:]))
+	p := 13
+	if p+klen+2 > plen {
+		return Record{}, 0
+	}
+	r.Key = append([]byte(nil), payload[p:p+klen]...)
+	p += klen
+	ncols := int(binary.LittleEndian.Uint16(payload[p:]))
+	p += 2
+	for i := 0; i < ncols; i++ {
+		if p+6 > plen {
+			return Record{}, 0
+		}
+		col := int(binary.LittleEndian.Uint16(payload[p:]))
+		dlen := int(binary.LittleEndian.Uint32(payload[p+2:]))
+		p += 6
+		if p+dlen > plen {
+			return Record{}, 0
+		}
+		data := append([]byte(nil), payload[p:p+dlen]...)
+		p += dlen
+		r.Puts = append(r.Puts, value.ColPut{Col: col, Data: data})
+	}
+	if p != plen {
+		return Record{}, 0
+	}
+	return r, 8 + plen
+}
+
+// parseLog decodes all complete records from a log file's contents
+// (including the file header). It stops silently at the first torn or
+// corrupt record, which recovery treats as the end of the durable log.
+func parseLog(b []byte) ([]Record, error) {
+	if len(b) < len(fileMagic) || string(b[:len(fileMagic)]) != string(fileMagic) {
+		return nil, fmt.Errorf("%w: bad file magic", ErrCorrupt)
+	}
+	b = b[len(fileMagic):]
+	var out []Record
+	for len(b) > 0 {
+		r, n := parseRecord(b)
+		if n == 0 {
+			break
+		}
+		out = append(out, r)
+		b = b[n:]
+	}
+	return out, nil
+}

@@ -1,0 +1,160 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// LogFile describes one on-disk log file.
+type LogFile struct {
+	Path   string
+	Worker int
+	Gen    uint64
+}
+
+var logNameRE = regexp.MustCompile(`^log-(\d{4})\.(\d{6})\.wal$`)
+
+// ListLogFiles enumerates the log files in dir.
+func ListLogFiles(dir string) ([]LogFile, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []LogFile
+	for _, e := range ents {
+		m := logNameRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		worker, _ := strconv.Atoi(m[1])
+		gen, _ := strconv.ParseUint(m[2], 10, 64)
+		out = append(out, LogFile{Path: filepath.Join(dir, e.Name()), Worker: worker, Gen: gen})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Worker != out[j].Worker {
+			return out[i].Worker < out[j].Worker
+		}
+		return out[i].Gen < out[j].Gen
+	})
+	return out, nil
+}
+
+// RecoveryResult is the outcome of scanning a log directory.
+type RecoveryResult struct {
+	// Records holds all surviving records (timestamp <= Cutoff), grouped by
+	// nothing in particular; use Replay to apply them in order.
+	Records []Record
+	// Cutoff is t = min over logs of the log's last timestamp (§5). Records
+	// with larger timestamps were dropped: some worker may not have made
+	// them durable, so the highest consistent prefix ends at t.
+	Cutoff uint64
+	// MaxTS is the largest timestamp seen anywhere (before cutoff
+	// filtering); the store's clock must resume above it.
+	MaxTS uint64
+	// MaxGen is the largest log generation present.
+	MaxGen uint64
+}
+
+// RecoverDir reads every log file in dir and computes the recovery cutoff.
+//
+// Per the paper, t = min over logs L of max timestamp in L, so that only
+// updates every log had made durable (or that precede such updates) are
+// replayed. A worker whose current-generation log is empty contributes no
+// constraint: it durably logged nothing, so it cannot have acknowledged
+// anything that others would depend on.
+func RecoverDir(dir string) (*RecoveryResult, error) {
+	files, err := ListLogFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	res := &RecoveryResult{Cutoff: ^uint64(0)}
+	// Concatenate each worker's generations in order, then treat the result
+	// as that worker's single log.
+	perWorker := map[int][]Record{}
+	for _, lf := range files {
+		if lf.Gen > res.MaxGen {
+			res.MaxGen = lf.Gen
+		}
+		b, err := os.ReadFile(lf.Path)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := parseLog(b)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", lf.Path, err)
+		}
+		perWorker[lf.Worker] = append(perWorker[lf.Worker], recs...)
+	}
+	constrained := false
+	for _, recs := range perWorker {
+		if len(recs) == 0 {
+			continue
+		}
+		last := recs[len(recs)-1].TS
+		if last > res.MaxTS {
+			res.MaxTS = last
+		}
+		if last < res.Cutoff {
+			res.Cutoff = last
+		}
+		constrained = true
+	}
+	if !constrained {
+		res.Cutoff = 0
+	}
+	for _, recs := range perWorker {
+		for _, r := range recs {
+			if r.Op != OpMark && r.TS <= res.Cutoff {
+				res.Records = append(res.Records, r)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Mark appends a timestamp heartbeat to every log (see OpMark).
+func (s *Set) Mark(ts uint64) {
+	for _, w := range s.writers {
+		w.Append(&Record{TS: ts, Op: OpMark})
+	}
+}
+
+// Replay applies the surviving records through apply, in increasing version
+// order per key, partitioned across parallel goroutines by key so a value's
+// updates stay ordered (§5: "plays back the logged updates in parallel,
+// taking care to apply a value's updates in increasing order by version").
+//
+// apply receives records for one key in strictly increasing TS order.
+func (r *RecoveryResult) Replay(parallelism int, apply func(Record)) {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	// Group records by key.
+	byKey := map[string][]Record{}
+	for _, rec := range r.Records {
+		byKey[string(rec.Key)] = append(byKey[string(rec.Key)], rec)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		sort.Slice(byKey[k], func(i, j int) bool { return byKey[k][i].TS < byKey[k][j].TS })
+		keys = append(keys, k)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < parallelism; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := p; i < len(keys); i += parallelism {
+				for _, rec := range byKey[keys[i]] {
+					apply(rec)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+}

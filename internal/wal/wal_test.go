@@ -1,0 +1,231 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/value"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		{TS: 1, Op: OpPut, Key: []byte("k"), Puts: []value.ColPut{{Col: 0, Data: []byte("v")}}},
+		{TS: 2, Op: OpPut, Key: []byte(""), Puts: []value.ColPut{{Col: 3, Data: nil}, {Col: 0, Data: []byte("x")}}},
+		{TS: 3, Op: OpRemove, Key: []byte("gone")},
+		{TS: 1 << 60, Op: OpPut, Key: bytes.Repeat([]byte{0}, 300), Puts: []value.ColPut{{Col: 9, Data: bytes.Repeat([]byte("d"), 5000)}}},
+	}
+	var buf []byte
+	for i := range recs {
+		buf = appendRecord(buf, &recs[i])
+	}
+	for i := range recs {
+		r, n := parseRecord(buf)
+		if n == 0 {
+			t.Fatalf("record %d failed to parse", i)
+		}
+		if r.TS != recs[i].TS || r.Op != recs[i].Op || !bytes.Equal(r.Key, recs[i].Key) {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, r, recs[i])
+		}
+		if len(r.Puts) != len(recs[i].Puts) {
+			t.Fatalf("record %d puts mismatch", i)
+		}
+		for j := range r.Puts {
+			if r.Puts[j].Col != recs[i].Puts[j].Col || !bytes.Equal(r.Puts[j].Data, recs[i].Puts[j].Data) {
+				t.Fatalf("record %d put %d mismatch", i, j)
+			}
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Fatal("leftover bytes")
+	}
+}
+
+func TestRecordRoundTripQuick(t *testing.T) {
+	f := func(ts uint64, key []byte, col uint8, data []byte) bool {
+		r := Record{TS: ts, Op: OpPut, Key: key, Puts: []value.ColPut{{Col: int(col), Data: data}}}
+		buf := appendRecord(nil, &r)
+		got, n := parseRecord(buf)
+		if n != len(buf) {
+			return false
+		}
+		// normalize nil/empty
+		keyEq := bytes.Equal(got.Key, key)
+		dataEq := bytes.Equal(got.Puts[0].Data, data)
+		return got.TS == ts && keyEq && got.Puts[0].Col == int(col) && dataEq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornRecordStopsParse(t *testing.T) {
+	r1 := Record{TS: 1, Op: OpPut, Key: []byte("a"), Puts: []value.ColPut{{Col: 0, Data: []byte("1")}}}
+	r2 := Record{TS: 2, Op: OpPut, Key: []byte("b"), Puts: []value.ColPut{{Col: 0, Data: []byte("2")}}}
+	buf := appendRecord(nil, &r1)
+	full := appendRecord(append([]byte(nil), buf...), &r2)
+	for cut := len(buf) + 1; cut < len(full); cut++ {
+		log := append(append([]byte(nil), fileMagic...), full[:cut]...)
+		recs, err := parseLog(log)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(recs) != 1 || recs[0].TS != 1 {
+			t.Fatalf("cut %d: got %d records", cut, len(recs))
+		}
+	}
+	// Corrupt a byte mid-first-record: zero records.
+	bad := append(append([]byte(nil), fileMagic...), buf...)
+	bad[len(fileMagic)+10] ^= 0xff
+	recs, _ := parseLog(bad)
+	if len(recs) != 0 {
+		t.Fatal("corrupt record should not parse")
+	}
+}
+
+func TestWriterFlushAndReload(t *testing.T) {
+	dir := t.TempDir()
+	set, err := OpenSet(dir, 2, 1, false, time.Hour) // no auto flush
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.Writer(0).Append(&Record{TS: 1, Op: OpPut, Key: []byte("a"), Puts: []value.ColPut{{Col: 0, Data: []byte("1")}}})
+	set.Writer(1).Append(&Record{TS: 2, Op: OpPut, Key: []byte("b"), Puts: []value.ColPut{{Col: 0, Data: []byte("2")}}})
+	if err := set.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	set.Writer(0).Append(&Record{TS: 3, Op: OpRemove, Key: []byte("a")})
+	if err := set.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := RecoverDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cutoff = min(max per worker) = min(3, 2) = 2 → record TS 3 dropped.
+	if res.Cutoff != 2 {
+		t.Fatalf("cutoff = %d, want 2", res.Cutoff)
+	}
+	if res.MaxTS != 3 {
+		t.Fatalf("maxTS = %d, want 3", res.MaxTS)
+	}
+	if len(res.Records) != 2 {
+		t.Fatalf("got %d records, want 2", len(res.Records))
+	}
+}
+
+func TestRecoverCutoffDropsUnackedTail(t *testing.T) {
+	dir := t.TempDir()
+	set, _ := OpenSet(dir, 2, 1, false, time.Hour)
+	// Worker 0 durably logged through TS 10; worker 1 only through TS 5.
+	for ts := uint64(1); ts <= 10; ts++ {
+		set.Writer(0).Append(&Record{TS: ts, Op: OpPut, Key: []byte{byte(ts)}, Puts: []value.ColPut{{Col: 0, Data: []byte("x")}}})
+	}
+	for ts := uint64(1); ts <= 5; ts++ {
+		set.Writer(1).Append(&Record{TS: ts + 100, Op: OpPut, Key: []byte{byte(ts)}, Puts: []value.ColPut{{Col: 0, Data: []byte("y")}}})
+	}
+	set.Close()
+	res, err := RecoverDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cutoff != 10 {
+		t.Fatalf("cutoff = %d, want 10", res.Cutoff)
+	}
+	for _, r := range res.Records {
+		if r.TS > res.Cutoff {
+			t.Fatalf("record beyond cutoff survived: %d", r.TS)
+		}
+	}
+	if len(res.Records) != 10 {
+		t.Fatalf("got %d records, want 10", len(res.Records))
+	}
+}
+
+func TestEmptyLogDoesNotConstrainCutoff(t *testing.T) {
+	dir := t.TempDir()
+	set, _ := OpenSet(dir, 2, 1, false, time.Hour)
+	set.Writer(0).Append(&Record{TS: 7, Op: OpPut, Key: []byte("k"), Puts: []value.ColPut{{Col: 0, Data: []byte("v")}}})
+	set.Close()
+	res, err := RecoverDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cutoff != 7 || len(res.Records) != 1 {
+		t.Fatalf("cutoff=%d records=%d", res.Cutoff, len(res.Records))
+	}
+}
+
+func TestRotateAndDrop(t *testing.T) {
+	dir := t.TempDir()
+	set, _ := OpenSet(dir, 1, 1, false, time.Hour)
+	set.Writer(0).Append(&Record{TS: 1, Op: OpPut, Key: []byte("old"), Puts: []value.ColPut{{Col: 0, Data: []byte("1")}}})
+	gen, err := set.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.Writer(0).Append(&Record{TS: 2, Op: OpPut, Key: []byte("new"), Puts: []value.ColPut{{Col: 0, Data: []byte("2")}}})
+	set.Flush()
+	if err := set.DropBefore(gen); err != nil {
+		t.Fatal(err)
+	}
+	set.Close()
+	files, _ := ListLogFiles(dir)
+	if len(files) != 1 || files[0].Gen != gen {
+		t.Fatalf("files after drop: %+v", files)
+	}
+	res, _ := RecoverDir(dir)
+	if len(res.Records) != 1 || string(res.Records[0].Key) != "new" {
+		t.Fatalf("post-drop records: %+v", res.Records)
+	}
+}
+
+func TestBackgroundFlush(t *testing.T) {
+	dir := t.TempDir()
+	set, _ := OpenSet(dir, 1, 1, false, 5*time.Millisecond)
+	set.Writer(0).Append(&Record{TS: 1, Op: OpPut, Key: []byte("k"), Puts: []value.ColPut{{Col: 0, Data: []byte("v")}}})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		b, _ := os.ReadFile(filepath.Join(dir, LogFileName(0, 1)))
+		if len(b) > len(fileMagic) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background flusher never wrote the record")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	set.Close()
+}
+
+func TestReplayOrderPerKey(t *testing.T) {
+	res := &RecoveryResult{
+		Records: []Record{
+			{TS: 5, Op: OpPut, Key: []byte("a")},
+			{TS: 1, Op: OpPut, Key: []byte("a")},
+			{TS: 3, Op: OpPut, Key: []byte("b")},
+			{TS: 2, Op: OpPut, Key: []byte("a")},
+			{TS: 4, Op: OpPut, Key: []byte("b")},
+		},
+	}
+	got := map[string][]uint64{}
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	res.Replay(4, func(r Record) {
+		<-mu
+		got[string(r.Key)] = append(got[string(r.Key)], r.TS)
+		mu <- struct{}{}
+	})
+	if !reflect.DeepEqual(got["a"], []uint64{1, 2, 5}) {
+		t.Fatalf("key a order: %v", got["a"])
+	}
+	if !reflect.DeepEqual(got["b"], []uint64{3, 4}) {
+		t.Fatalf("key b order: %v", got["b"])
+	}
+}

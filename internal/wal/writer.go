@@ -1,0 +1,251 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Writer is one worker's log: an in-memory buffer plus a file, written out
+// by a background logging goroutine (§5). A put appends to the buffer and
+// returns; the flusher batches appends to exploit sequential device
+// bandwidth and forces the log to storage at least every FlushInterval.
+type Writer struct {
+	dir    string
+	worker int
+	sync   bool
+
+	mu     sync.Mutex
+	buf    []byte
+	f      *os.File
+	gen    uint64
+	closed bool
+
+	flushCh chan struct{} // kicks the flusher
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// DefaultFlushInterval is the paper's 200 ms group-commit bound.
+const DefaultFlushInterval = 200 * time.Millisecond
+
+// newWriter opens (creating or appending) the generation-gen log file for a
+// worker.
+func newWriter(dir string, worker int, gen uint64, syncWrites bool, flushEvery time.Duration) (*Writer, error) {
+	w := &Writer{
+		dir:     dir,
+		worker:  worker,
+		sync:    syncWrites,
+		gen:     gen,
+		flushCh: make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	if err := w.openFile(); err != nil {
+		return nil, err
+	}
+	w.wg.Add(1)
+	go w.flushLoop(flushEvery)
+	return w, nil
+}
+
+// LogFileName names worker w's generation-g log file.
+func LogFileName(worker int, gen uint64) string {
+	return fmt.Sprintf("log-%04d.%06d.wal", worker, gen)
+}
+
+func (w *Writer) openFile() error {
+	path := filepath.Join(w.dir, LogFileName(w.worker, w.gen))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if st.Size() == 0 {
+		if _, err := f.Write(fileMagic); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.f = f
+	return nil
+}
+
+// Append queues a record in the log buffer. It does not block on storage;
+// durability arrives with the next flush (group commit).
+func (w *Writer) Append(r *Record) {
+	w.mu.Lock()
+	w.buf = appendRecord(w.buf, r)
+	big := len(w.buf) >= 1<<20
+	w.mu.Unlock()
+	if big {
+		select {
+		case w.flushCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Flush writes the buffer to the file and, when sync is enabled, forces it
+// to storage.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushLocked()
+}
+
+func (w *Writer) flushLocked() error {
+	if len(w.buf) == 0 || w.f == nil {
+		return nil
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		return err
+	}
+	w.buf = w.buf[:0]
+	if w.sync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+func (w *Writer) flushLoop(every time.Duration) {
+	defer w.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			w.Flush()
+		case <-w.flushCh:
+			w.Flush()
+		case <-w.done:
+			return
+		}
+	}
+}
+
+// Rotate flushes and switches the writer to generation gen. Used at
+// checkpoint start so pre-checkpoint log files can be reclaimed once the
+// checkpoint is durable.
+func (w *Writer) Rotate(gen uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.flushLocked(); err != nil {
+		return err
+	}
+	if w.f != nil {
+		w.f.Close()
+	}
+	w.gen = gen
+	return w.openFile()
+}
+
+// Close flushes and closes the log.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.done)
+	w.wg.Wait()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.flushLocked()
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+	return err
+}
+
+// Set is the collection of per-worker log writers of one store.
+type Set struct {
+	mu      sync.Mutex
+	dir     string
+	writers []*Writer
+	gen     uint64
+}
+
+// OpenSet creates (or reopens) n per-worker logs in dir at the given
+// starting generation.
+func OpenSet(dir string, n int, gen uint64, syncWrites bool, flushEvery time.Duration) (*Set, error) {
+	if flushEvery <= 0 {
+		flushEvery = DefaultFlushInterval
+	}
+	s := &Set{dir: dir, gen: gen}
+	for i := 0; i < n; i++ {
+		w, err := newWriter(dir, i, gen, syncWrites, flushEvery)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.writers = append(s.writers, w)
+	}
+	return s, nil
+}
+
+// Writer returns worker i's log.
+func (s *Set) Writer(i int) *Writer { return s.writers[i%len(s.writers)] }
+
+// Workers returns the number of per-worker logs.
+func (s *Set) Workers() int { return len(s.writers) }
+
+// Rotate flushes all logs and advances every writer to a new generation,
+// returning the new generation number.
+func (s *Set) Rotate() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gen++
+	for _, w := range s.writers {
+		if err := w.Rotate(s.gen); err != nil {
+			return 0, err
+		}
+	}
+	return s.gen, nil
+}
+
+// DropBefore removes all log files with generation < gen. Called after a
+// checkpoint that began at generation gen becomes durable.
+func (s *Set) DropBefore(gen uint64) error {
+	files, err := ListLogFiles(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, f := range files {
+		if f.Gen < gen {
+			if err := os.Remove(f.Path); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Flush flushes every writer.
+func (s *Set) Flush() error {
+	for _, w := range s.writers {
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes every writer.
+func (s *Set) Close() error {
+	var first error
+	for _, w := range s.writers {
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,354 @@
+// Package wire defines the binary client/server protocol. Requests query
+// and change the mapping of keys to values; values are divided into columns
+// (§3). A single message carries a whole batch of queries — batching is
+// vital for throughput (§7: "Batched query support is vital on these
+// benchmarks") — and responses come back as a matching batch.
+//
+// Framing: every message is a 4-byte little-endian length followed by the
+// body. Bodies hold a 4-byte request/response count followed by that many
+// requests or responses.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// OpCode identifies a request type.
+type OpCode uint8
+
+const (
+	// OpGet retrieves (a subset of columns of) one key.
+	OpGet OpCode = 1
+	// OpPut modifies a subset of columns of one key.
+	OpPut OpCode = 2
+	// OpRemove deletes one key.
+	OpRemove OpCode = 3
+	// OpGetRange is the paper's getrange/scan: up to N pairs from a start key.
+	OpGetRange OpCode = 4
+	// OpStats requests server statistics; the response carries metric
+	// name/value pairs in Pairs.
+	OpStats OpCode = 5
+)
+
+// Status codes.
+const (
+	StatusOK       uint8 = 0
+	StatusNotFound uint8 = 1
+	StatusError    uint8 = 2
+)
+
+// ColData is a column index with data (for puts and responses).
+type ColData struct {
+	Col  int
+	Data []byte
+}
+
+// Request is one operation within a batch.
+type Request struct {
+	Op   OpCode
+	Key  []byte
+	Cols []int     // columns to read (OpGet/OpGetRange); nil = all
+	Puts []ColData // column writes (OpPut)
+	N    int       // max pairs (OpGetRange)
+}
+
+// Pair is one key-value result of a range query.
+type Pair struct {
+	Key  []byte
+	Cols [][]byte
+}
+
+// Response is one operation's result.
+type Response struct {
+	Status  uint8
+	Version uint64   // OpPut
+	Cols    [][]byte // OpGet
+	Pairs   []Pair   // OpGetRange
+}
+
+// MaxMessage bounds a message body; larger frames are rejected as corrupt.
+const MaxMessage = 64 << 20
+
+var errTooLarge = errors.New("wire: message exceeds MaxMessage")
+
+// WriteRequests frames and writes a request batch.
+func WriteRequests(w *bufio.Writer, reqs []Request) error {
+	body := make([]byte, 0, 64*len(reqs))
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(reqs)))
+	for i := range reqs {
+		body = appendRequest(body, &reqs[i])
+	}
+	return writeFrame(w, body)
+}
+
+// ReadRequests reads one framed request batch.
+func ReadRequests(r *bufio.Reader) ([]Request, error) {
+	body, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	n, body, err := readU32(body)
+	if err != nil {
+		return nil, err
+	}
+	reqs := make([]Request, n)
+	for i := range reqs {
+		body, err = parseRequest(body, &reqs[i])
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(body) != 0 {
+		return nil, errors.New("wire: trailing request bytes")
+	}
+	return reqs, nil
+}
+
+// WriteResponses frames and writes a response batch.
+func WriteResponses(w *bufio.Writer, resps []Response) error {
+	body := make([]byte, 0, 32*len(resps))
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(resps)))
+	for i := range resps {
+		body = appendResponse(body, &resps[i])
+	}
+	return writeFrame(w, body)
+}
+
+// ReadResponses reads one framed response batch.
+func ReadResponses(r *bufio.Reader) ([]Response, error) {
+	body, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	n, body, err := readU32(body)
+	if err != nil {
+		return nil, err
+	}
+	resps := make([]Response, n)
+	for i := range resps {
+		body, err = parseResponse(body, &resps[i])
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(body) != 0 {
+		return nil, errors.New("wire: trailing response bytes")
+	}
+	return resps, nil
+}
+
+func writeFrame(w *bufio.Writer, body []byte) error {
+	if len(body) > MaxMessage {
+		return errTooLarge
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxMessage {
+		return nil, errTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+func appendRequest(b []byte, r *Request) []byte {
+	b = append(b, byte(r.Op))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(r.Key)))
+	b = append(b, r.Key...)
+	switch r.Op {
+	case OpGet, OpGetRange:
+		b = append(b, byte(len(r.Cols)))
+		for _, c := range r.Cols {
+			b = binary.LittleEndian.AppendUint16(b, uint16(c))
+		}
+		if r.Op == OpGetRange {
+			b = binary.LittleEndian.AppendUint16(b, uint16(r.N))
+		}
+	case OpPut:
+		b = append(b, byte(len(r.Puts)))
+		for _, p := range r.Puts {
+			b = binary.LittleEndian.AppendUint16(b, uint16(p.Col))
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(p.Data)))
+			b = append(b, p.Data...)
+		}
+	case OpRemove, OpStats:
+	}
+	return b
+}
+
+var errShort = errors.New("wire: short message")
+
+func parseRequest(b []byte, r *Request) ([]byte, error) {
+	if len(b) < 3 {
+		return nil, errShort
+	}
+	r.Op = OpCode(b[0])
+	klen := int(binary.LittleEndian.Uint16(b[1:]))
+	b = b[3:]
+	if len(b) < klen {
+		return nil, errShort
+	}
+	r.Key = append([]byte(nil), b[:klen]...)
+	b = b[klen:]
+	switch r.Op {
+	case OpGet, OpGetRange:
+		if len(b) < 1 {
+			return nil, errShort
+		}
+		ncols := int(b[0])
+		b = b[1:]
+		if len(b) < 2*ncols {
+			return nil, errShort
+		}
+		if ncols > 0 {
+			r.Cols = make([]int, ncols)
+			for i := range r.Cols {
+				r.Cols[i] = int(binary.LittleEndian.Uint16(b))
+				b = b[2:]
+			}
+		}
+		if r.Op == OpGetRange {
+			if len(b) < 2 {
+				return nil, errShort
+			}
+			r.N = int(binary.LittleEndian.Uint16(b))
+			b = b[2:]
+		}
+	case OpPut:
+		if len(b) < 1 {
+			return nil, errShort
+		}
+		nputs := int(b[0])
+		b = b[1:]
+		r.Puts = make([]ColData, nputs)
+		for i := range r.Puts {
+			if len(b) < 6 {
+				return nil, errShort
+			}
+			r.Puts[i].Col = int(binary.LittleEndian.Uint16(b))
+			dlen := int(binary.LittleEndian.Uint32(b[2:]))
+			b = b[6:]
+			if len(b) < dlen {
+				return nil, errShort
+			}
+			r.Puts[i].Data = append([]byte(nil), b[:dlen]...)
+			b = b[dlen:]
+		}
+	case OpRemove, OpStats:
+	default:
+		return nil, fmt.Errorf("wire: unknown opcode %d", r.Op)
+	}
+	return b, nil
+}
+
+func appendResponse(b []byte, r *Response) []byte {
+	b = append(b, r.Status)
+	b = binary.LittleEndian.AppendUint64(b, r.Version)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(r.Cols)))
+	for _, c := range r.Cols {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(c)))
+		b = append(b, c...)
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(r.Pairs)))
+	for _, p := range r.Pairs {
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(p.Key)))
+		b = append(b, p.Key...)
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(p.Cols)))
+		for _, c := range p.Cols {
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(c)))
+			b = append(b, c...)
+		}
+	}
+	return b
+}
+
+func parseResponse(b []byte, r *Response) ([]byte, error) {
+	if len(b) < 13 {
+		return nil, errShort
+	}
+	r.Status = b[0]
+	r.Version = binary.LittleEndian.Uint64(b[1:])
+	ncols := int(binary.LittleEndian.Uint16(b[9:]))
+	b = b[11:]
+	if ncols > 0 {
+		r.Cols = make([][]byte, ncols)
+		for i := range r.Cols {
+			var err error
+			r.Cols[i], b, err = readBytes32(b)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(b) < 2 {
+		return nil, errShort
+	}
+	npairs := int(binary.LittleEndian.Uint16(b))
+	b = b[2:]
+	if npairs > 0 {
+		r.Pairs = make([]Pair, npairs)
+		for i := range r.Pairs {
+			if len(b) < 2 {
+				return nil, errShort
+			}
+			klen := int(binary.LittleEndian.Uint16(b))
+			b = b[2:]
+			if len(b) < klen+2 {
+				return nil, errShort
+			}
+			r.Pairs[i].Key = append([]byte(nil), b[:klen]...)
+			b = b[klen:]
+			nc := int(binary.LittleEndian.Uint16(b))
+			b = b[2:]
+			r.Pairs[i].Cols = make([][]byte, nc)
+			for j := 0; j < nc; j++ {
+				var err error
+				r.Pairs[i].Cols[j], b, err = readBytes32(b)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return b, nil
+}
+
+func readBytes32(b []byte) ([]byte, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, errShort
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if len(b) < n {
+		return nil, nil, errShort
+	}
+	return append([]byte(nil), b[:n]...), b[n:], nil
+}
+
+func readU32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, errShort
+	}
+	return binary.LittleEndian.Uint32(b), b[4:], nil
+}

@@ -1,0 +1,146 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTripRequests(t *testing.T, reqs []Request) []Request {
+	t.Helper()
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteRequests(w, reqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequests(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpGet, Key: []byte("k1"), Cols: []int{0, 3}},
+		{Op: OpGet, Key: []byte("")},
+		{Op: OpPut, Key: []byte("k2"), Puts: []ColData{{Col: 1, Data: []byte("data")}, {Col: 0, Data: nil}}},
+		{Op: OpRemove, Key: []byte("k3")},
+		{Op: OpGetRange, Key: []byte("start"), N: 100, Cols: []int{2}},
+		{Op: OpGetRange, Key: nil, N: 0},
+	}
+	got := roundTripRequests(t, reqs)
+	if len(got) != len(reqs) {
+		t.Fatalf("got %d requests", len(got))
+	}
+	for i := range reqs {
+		if got[i].Op != reqs[i].Op || !bytes.Equal(got[i].Key, reqs[i].Key) ||
+			got[i].N != reqs[i].N || !reflect.DeepEqual(got[i].Cols, reqs[i].Cols) {
+			t.Fatalf("request %d mismatch: %+v vs %+v", i, got[i], reqs[i])
+		}
+		if len(got[i].Puts) != len(reqs[i].Puts) {
+			t.Fatalf("request %d puts mismatch", i)
+		}
+		for j := range reqs[i].Puts {
+			if got[i].Puts[j].Col != reqs[i].Puts[j].Col || !bytes.Equal(got[i].Puts[j].Data, reqs[i].Puts[j].Data) {
+				t.Fatalf("request %d put %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []Response{
+		{Status: StatusOK, Version: 1 << 50},
+		{Status: StatusNotFound},
+		{Status: StatusOK, Cols: [][]byte{[]byte("a"), nil, []byte("ccc")}},
+		{Status: StatusOK, Pairs: []Pair{
+			{Key: []byte("k1"), Cols: [][]byte{[]byte("v1")}},
+			{Key: []byte(""), Cols: nil},
+		}},
+	}
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteResponses(w, resps); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResponses(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(resps) {
+		t.Fatalf("got %d responses", len(got))
+	}
+	if got[0].Version != resps[0].Version || got[0].Status != StatusOK {
+		t.Fatal("response 0 mismatch")
+	}
+	if got[1].Status != StatusNotFound {
+		t.Fatal("response 1 mismatch")
+	}
+	if len(got[2].Cols) != 3 || string(got[2].Cols[2]) != "ccc" {
+		t.Fatalf("response 2 mismatch: %+v", got[2])
+	}
+	if len(got[3].Pairs) != 2 || string(got[3].Pairs[0].Key) != "k1" || string(got[3].Pairs[0].Cols[0]) != "v1" {
+		t.Fatalf("response 3 mismatch: %+v", got[3])
+	}
+}
+
+func TestRequestQuick(t *testing.T) {
+	f := func(key, data []byte, col uint8, n uint16) bool {
+		reqs := []Request{
+			{Op: OpPut, Key: key, Puts: []ColData{{Col: int(col), Data: data}}},
+			{Op: OpGetRange, Key: key, N: int(n)},
+		}
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		if err := WriteRequests(w, reqs); err != nil {
+			return len(key) > 0xffff // only oversized keys may fail
+		}
+		got, err := ReadRequests(bufio.NewReader(&buf))
+		if err != nil || len(got) != 2 {
+			return false
+		}
+		return bytes.Equal(got[0].Key, key) && got[0].Puts[0].Col == int(col) &&
+			bytes.Equal(got[0].Puts[0].Data, data) && got[1].N == int(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncatedFrameErrors(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteRequests(w, []Request{{Op: OpGet, Key: []byte("k")}}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		_, err := ReadRequests(bufio.NewReader(bytes.NewReader(full[:cut])))
+		if err == nil {
+			t.Fatalf("cut %d: expected error", cut)
+		}
+	}
+}
+
+func TestUnknownOpcodeErrors(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	WriteRequests(w, []Request{{Op: OpGet, Key: []byte("k")}})
+	b := buf.Bytes()
+	b[8] = 99 // clobber the opcode (4B frame len + 4B count)
+	if _, err := ReadRequests(bufio.NewReader(bytes.NewReader(b))); err == nil {
+		t.Fatal("expected error for unknown opcode")
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	var hdr [4]byte
+	hdr[3] = 0xff // huge length
+	_, err := ReadRequests(bufio.NewReader(bytes.NewReader(hdr[:])))
+	if err == nil {
+		t.Fatal("expected error for oversized frame")
+	}
+}

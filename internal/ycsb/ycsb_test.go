@@ -1,0 +1,118 @@
+package ycsb
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestWorkloadMixes(t *testing.T) {
+	cases := map[string]struct{ read, update, scan float64 }{
+		"A": {0.50, 0.50, 0},
+		"B": {0.95, 0.05, 0},
+		"C": {1.00, 0, 0},
+		"E": {0, 0.05, 0.95},
+	}
+	for name, want := range cases {
+		t.Run(name, func(t *testing.T) {
+			s, err := New(name, 10000, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := map[Kind]int{}
+			const n = 50000
+			for i := 0; i < n; i++ {
+				op := s.Next()
+				counts[op.Kind]++
+				switch op.Kind {
+				case Update:
+					if len(op.Data) != ColumnSize || op.Col < 0 || op.Col >= NumColumns {
+						t.Fatalf("bad update op: %+v", op)
+					}
+				case ScanOp:
+					if op.ScanLen < 1 || op.ScanLen > MaxScanLen {
+						t.Fatalf("scan length %d out of range", op.ScanLen)
+					}
+				}
+			}
+			check := func(kind Kind, frac float64) {
+				got := float64(counts[kind]) / n
+				if math.Abs(got-frac) > 0.02 {
+					t.Fatalf("%s: kind %d fraction %.3f, want %.2f", name, kind, got, frac)
+				}
+			}
+			check(Read, want.read)
+			check(Update, want.update)
+			check(ScanOp, want.scan)
+		})
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	if _, err := New("Z", 100, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestKeysInRecordSpace(t *testing.T) {
+	s, _ := New("A", 1000, 2)
+	for i := 0; i < 5000; i++ {
+		op := s.Next()
+		if !bytes.HasPrefix(op.Key, []byte("user")) {
+			t.Fatalf("bad key %q", op.Key)
+		}
+		if len(op.Key) < 5 || len(op.Key) > 24 {
+			t.Fatalf("key length %d outside 5-24", len(op.Key))
+		}
+	}
+}
+
+func TestZipfianSkewInOps(t *testing.T) {
+	s, _ := New("C", 10000, 3)
+	counts := map[string]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[string(s.Next().Key)]++
+	}
+	// The hottest key should be far above the uniform expectation.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 5*(n/10000) {
+		t.Fatalf("hottest key drawn %d times; expected zipfian skew", max)
+	}
+}
+
+func TestLoadRecord(t *testing.T) {
+	k, cols := LoadRecord(42)
+	if !bytes.Equal(k, []byte("user42")) {
+		t.Fatalf("key %q", k)
+	}
+	if len(cols) != NumColumns {
+		t.Fatalf("%d columns", len(cols))
+	}
+	for _, c := range cols {
+		if len(c) != ColumnSize {
+			t.Fatalf("column size %d", len(c))
+		}
+	}
+	// Distinct records produce distinct column data.
+	_, cols2 := LoadRecord(43)
+	if bytes.Equal(cols[0], cols2[0]) {
+		t.Fatal("records not distinguishable")
+	}
+}
+
+func TestDeterministicStream(t *testing.T) {
+	a, _ := New("A", 1000, 7)
+	b, _ := New("A", 1000, 7)
+	for i := 0; i < 1000; i++ {
+		oa, ob := a.Next(), b.Next()
+		if oa.Kind != ob.Kind || !bytes.Equal(oa.Key, ob.Key) {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
