@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/kvstore"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// startPipelineServer starts an in-memory store and TCP server preloaded
+// with nkeys single-column values, returning a connected client.
+func startPipelineServer(b *testing.B, nkeys int) *client.Client {
+	b.Helper()
+	store, err := kvstore.Open(kvstore.Config{MaintainEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(store, 2)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		srv.Close()
+		store.Close()
+	})
+	for i := 0; i < nkeys; i++ {
+		store.PutSimple(0, pipelineKey(i), []byte("value-of-some-plausible-length"))
+	}
+	c, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	return c
+}
+
+func pipelineKey(i int) []byte {
+	return []byte(fmt.Sprintf("key%016d", i))
+}
+
+// BenchmarkServerRoundTrip measures one client round trip carrying a batch
+// of requests, reporting allocs/op for the whole client+server pipeline.
+// This is the end-to-end path the paper's system benchmarks exercise:
+// batched queries over a long-lived TCP connection (§7).
+func BenchmarkServerRoundTrip(b *testing.B) {
+	const nkeys = 4096
+	const batch = 64
+
+	b.Run("get64", func(b *testing.B) {
+		c := startPipelineServer(b, nkeys)
+		reqs := make([]wire.Request, batch)
+		for i := range reqs {
+			reqs[i] = wire.Request{Op: wire.OpGet, Key: pipelineKey(i * 7 % nkeys)}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resps, err := c.DoReuse(reqs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(resps) != batch || resps[0].Status != wire.StatusOK {
+				b.Fatalf("bad responses: %d status %d", len(resps), resps[0].Status)
+			}
+		}
+		reportPerRequest(b, batch)
+	})
+
+	b.Run("mixed64", func(b *testing.B) {
+		c := startPipelineServer(b, nkeys)
+		reqs := make([]wire.Request, batch)
+		for i := range reqs {
+			if i%8 == 7 {
+				reqs[i] = wire.Request{Op: wire.OpPut, Key: pipelineKey(i * 13 % nkeys),
+					Puts: []wire.ColData{{Col: 0, Data: []byte("updated-column-data")}}}
+			} else {
+				reqs[i] = wire.Request{Op: wire.OpGet, Key: pipelineKey(i * 13 % nkeys)}
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resps, err := c.DoReuse(reqs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(resps) != batch {
+				b.Fatalf("got %d responses", len(resps))
+			}
+		}
+		reportPerRequest(b, batch)
+	})
+}
+
+// reportPerRequest adds a derived requests/s metric so the snapshot reads in
+// the paper's units (the batch amortizes one round trip over `batch` ops).
+func reportPerRequest(b *testing.B, batch int) {
+	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}

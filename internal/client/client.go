@@ -21,6 +21,8 @@ type Client struct {
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+	enc  []byte             // encode buffer, reused across Do/Send calls
+	dec  wire.RespDecodeBuf // decode scratch for DoReuse
 }
 
 // Dial connects to a server.
@@ -43,12 +45,39 @@ func Dial(addr string) (*Client, error) {
 func (c *Client) Close() error { return c.conn.Close() }
 
 // Do executes a batch of requests in one round trip and returns the
-// responses in request order.
+// responses in request order. The responses own their memory and may be
+// retained; throughput-sensitive callers should prefer DoReuse.
 func (c *Client) Do(reqs []wire.Request) ([]wire.Response, error) {
-	if err := wire.WriteRequests(c.w, reqs); err != nil {
+	if err := wire.WriteRequestsInto(c.w, reqs, &c.enc); err != nil {
 		return nil, err
 	}
 	resps, err := wire.ReadResponses(c.r)
+	if err != nil {
+		return nil, err
+	}
+	if len(resps) != len(reqs) {
+		return nil, fmt.Errorf("client: %d responses for %d requests", len(resps), len(reqs))
+	}
+	return resps, nil
+}
+
+// maxRetainedScratch bounds the encode/decode scratch kept between calls;
+// one oversized batch doesn't pin its footprint for the client's lifetime.
+const maxRetainedScratch = 1 << 20
+
+// DoReuse is Do decoding into the client's reusable buffers: the returned
+// responses (and every slice they reference) are valid only until the next
+// DoReuse/Recv call on this client. In steady state a DoReuse round trip
+// performs no client-side allocations.
+func (c *Client) DoReuse(reqs []wire.Request) ([]wire.Response, error) {
+	if cap(c.enc) > maxRetainedScratch {
+		c.enc = nil
+	}
+	c.dec.Shrink(maxRetainedScratch)
+	if err := wire.WriteRequestsInto(c.w, reqs, &c.enc); err != nil {
+		return nil, err
+	}
+	resps, err := wire.ReadResponsesInto(c.r, &c.dec)
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +152,7 @@ func (c *Client) Stats() (map[string]int64, error) {
 // multiple batches in flight on the connection (pipelining). Each Send must
 // eventually be matched by one Recv, in order.
 func (c *Client) Send(reqs []wire.Request) error {
-	return wire.WriteRequests(c.w, reqs)
+	return wire.WriteRequestsInto(c.w, reqs, &c.enc)
 }
 
 // Recv reads the next response batch for an earlier Send.

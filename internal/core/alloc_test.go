@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// TestGetAllocFree locks in the read path's zero-allocation guarantee
+// (§4.8's cache-craftiness discipline applied to the Go heap: a get must
+// not create garbage). Covers inline keys, suffix keys, and keys that
+// descend through deeper trie layers.
+func TestGetAllocFree(t *testing.T) {
+	tree := New()
+	keys := [][]byte{
+		[]byte("short"),
+		[]byte("exactly8"),
+		[]byte("a-key-longer-than-eight-bytes"),
+		[]byte("prefix-shared-aaaaaaaaaaaaaaaa"),
+		[]byte("prefix-shared-bbbbbbbbbbbbbbbb"), // forces a deeper layer
+	}
+	for i, k := range keys {
+		tree.Put(k, value.New([]byte(fmt.Sprintf("val%d", i))))
+	}
+	for i := 0; i < 1000; i++ { // grow the tree so descents span levels
+		tree.Put([]byte(fmt.Sprintf("filler%06d", i)), value.New([]byte("x")))
+	}
+	missing := []byte("prefix-shared-cccccccccccccccc")
+
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, k := range keys {
+			if _, ok := tree.Get(k); !ok {
+				t.Fatalf("key %q missing", k)
+			}
+		}
+		if _, ok := tree.Get(missing); ok {
+			t.Fatal("phantom key")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Get allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestGetBatchIntoAllocFree verifies the batched lookup is allocation-free
+// once its scratch is warmed to the batch size.
+func TestGetBatchIntoAllocFree(t *testing.T) {
+	tree := New()
+	const n = 64
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("batch-key-%06d", i*37%n))
+		tree.Put(keys[i], value.New([]byte("v")))
+	}
+	vals := make([]*value.Value, n)
+	found := make([]bool, n)
+	var sc BatchScratch
+
+	allocs := testing.AllocsPerRun(200, func() {
+		tree.GetBatchInto(keys, vals, found, &sc)
+		for i := range found {
+			if !found[i] {
+				t.Fatalf("key %d missing", i)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("GetBatchInto allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestGetBatchIntoMatchesGet checks batched results against single gets.
+func TestGetBatchIntoMatchesGet(t *testing.T) {
+	tree := New()
+	for i := 0; i < 500; i++ {
+		tree.Put([]byte(fmt.Sprintf("k%05d", i)), value.New([]byte(fmt.Sprintf("v%05d", i))))
+	}
+	keys := [][]byte{
+		[]byte("k00042"), []byte("k00400"), []byte("absent"),
+		[]byte("k00001"), []byte("k00499"), []byte("k00042"),
+	}
+	vals, found := tree.GetBatch(keys)
+	for i, k := range keys {
+		v, ok := tree.Get(k)
+		if ok != found[i] || v != vals[i] {
+			t.Fatalf("key %q: batch (%v,%v) != get (%v,%v)", k, vals[i], found[i], v, ok)
+		}
+	}
+}

@@ -6,6 +6,20 @@ import (
 	"repro/internal/value"
 )
 
+// BatchScratch holds the reusable ordering state for GetBatchInto so a
+// steady-state caller (one scratch per worker/connection) performs no
+// allocations per batch. It implements sort.Interface over the index
+// permutation so sorting itself is allocation-free (sort.Slice's closure
+// and reflection path both allocate).
+type BatchScratch struct {
+	idx    []int
+	slices []uint64
+}
+
+func (sc *BatchScratch) Len() int           { return len(sc.idx) }
+func (sc *BatchScratch) Less(a, b int) bool { return sc.slices[sc.idx[a]] < sc.slices[sc.idx[b]] }
+func (sc *BatchScratch) Swap(a, b int)      { sc.idx[a], sc.idx[b] = sc.idx[b], sc.idx[a] }
+
 // GetBatch looks up many keys in one call — the paper's PALM-inspired
 // batched lookup (§4.8). PALM sorts a batch of queries so lookups that
 // touch nearby tree paths run back to back, overlapping their DRAM fetches;
@@ -15,24 +29,37 @@ import (
 // this is an optional path; the ablation benchmark quantifies it here.
 //
 // Results are returned in input order: vals[i], found[i] correspond to
-// keys[i].
+// keys[i]. GetBatch allocates its result slices; hot paths should hold a
+// BatchScratch and call GetBatchInto instead.
 func (t *Tree) GetBatch(keys [][]byte) (vals []*value.Value, found []bool) {
+	vals = make([]*value.Value, len(keys))
+	found = make([]bool, len(keys))
+	var sc BatchScratch
+	t.GetBatchInto(keys, vals, found, &sc)
+	return vals, found
+}
+
+// GetBatchInto is GetBatch writing into caller-provided slices (which must
+// have len(keys) elements) and ordering scratch. In steady state — scratch
+// warmed to the largest batch size — it performs no allocations.
+func (t *Tree) GetBatchInto(keys [][]byte, vals []*value.Value, found []bool, sc *BatchScratch) {
 	n := len(keys)
-	vals = make([]*value.Value, n)
-	found = make([]bool, n)
 	if n == 0 {
-		return vals, found
+		return
 	}
 	// Order the batch by leading key slice (cheap proxy for tree order).
-	idx := make([]int, n)
-	slices := make([]uint64, n)
-	for i, k := range keys {
-		idx[i] = i
-		slices[i] = keySlice(k)
+	if cap(sc.idx) < n {
+		sc.idx = make([]int, n)
+		sc.slices = make([]uint64, n)
 	}
-	sort.Slice(idx, func(a, b int) bool { return slices[idx[a]] < slices[idx[b]] })
-	for _, i := range idx {
+	sc.idx = sc.idx[:n]
+	sc.slices = sc.slices[:n]
+	for i, k := range keys {
+		sc.idx[i] = i
+		sc.slices[i] = keySlice(k)
+	}
+	sort.Sort(sc)
+	for _, i := range sc.idx {
 		vals[i], found[i] = t.Get(keys[i])
 	}
-	return vals, found
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"unsafe"
 
 	"repro/internal/value"
@@ -74,7 +75,7 @@ restart:
 				if sp := n.suffix[slot].Load(); sp != nil {
 					suf = *sp
 				}
-				if bytesEqual(suf, k[8:]) {
+				if bytes.Equal(suf, k[8:]) {
 					old = (*value.Value)(n.loadLV(slot))
 					stored = f(old)
 					n.storeLV(slot, unsafe.Pointer(stored))

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+
 	"repro/internal/value"
 )
 
@@ -73,7 +75,7 @@ restart:
 			if sp := n.suffix[slot].Load(); sp != nil {
 				suf = *sp
 			}
-			if !bytesEqual(suf, k[8:]) {
+			if !bytes.Equal(suf, k[8:]) {
 				n.h.unlock()
 				return nil, false
 			}

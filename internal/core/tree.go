@@ -18,6 +18,7 @@
 package core
 
 import (
+	"bytes"
 	"sync"
 	"sync/atomic"
 	"unsafe"
@@ -148,7 +149,7 @@ restart:
 		case klUnstable:
 			goto forward
 		case klSuffix:
-			if !bytesEqual(suf, k[8:]) {
+			if !bytes.Equal(suf, k[8:]) {
 				return nil, false
 			}
 			return (*value.Value)(lvp), true
@@ -156,17 +157,4 @@ restart:
 			return (*value.Value)(lvp), true
 		}
 	}
-}
-
-// bytesEqual avoids importing bytes in the hot path (and inlines well).
-func bytesEqual(a, b []byte) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }

@@ -1,0 +1,98 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+// newAllocTestStore returns an in-memory store with background maintenance
+// disabled, so AllocsPerRun measurements see only the operation under test.
+func newAllocTestStore(t *testing.T, nkeys int) *Store {
+	t.Helper()
+	s, err := Open(Config{MaintainEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	for i := 0; i < nkeys; i++ {
+		s.PutSimple(0, []byte(fmt.Sprintf("alloc-key-%06d", i)), []byte("column-zero-data"))
+	}
+	return s
+}
+
+// TestGetIntoAllocFree verifies the append-into read path allocates nothing
+// in steady state, through both the store and an epoch-registered session.
+func TestGetIntoAllocFree(t *testing.T) {
+	s := newAllocTestStore(t, 1000)
+	sess := s.Session(0)
+	defer sess.Close()
+	key := []byte("alloc-key-000123")
+	cols := []int{0}
+	dst := make([][]byte, 0, 4)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		var ok bool
+		dst, ok = sess.GetInto(key, cols, dst[:0])
+		if !ok || len(dst) != 1 || string(dst[0]) != "column-zero-data" {
+			t.Fatalf("GetInto: %q %v", dst, ok)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Session.GetInto allocates %.1f times per run, want 0", allocs)
+	}
+
+	allocs = testing.AllocsPerRun(200, func() {
+		var ok bool
+		dst, ok = s.GetInto(key, nil, dst[:0])
+		if !ok || len(dst) != 1 {
+			t.Fatalf("GetInto all-cols: %q %v", dst, ok)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Store.GetInto allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestGetBatchIntoAllocFree verifies the session's batched lookup is
+// allocation-free once its scratch has warmed to the batch size.
+func TestGetBatchIntoAllocFree(t *testing.T) {
+	s := newAllocTestStore(t, 1000)
+	sess := s.Session(0)
+	defer sess.Close()
+	keys := make([][]byte, 64)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("alloc-key-%06d", i*13%1000))
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		vals, found := sess.GetBatchInto(keys)
+		for i := range keys {
+			if !found[i] || vals[i] == nil {
+				t.Fatalf("batch key %d missing", i)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Session.GetBatchInto allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestGetBatchMatchesGet pins the convenience wrapper's input-order results.
+func TestGetBatchMatchesGet(t *testing.T) {
+	s := newAllocTestStore(t, 100)
+	sess := s.Session(0)
+	defer sess.Close()
+	keys := [][]byte{
+		[]byte("alloc-key-000007"), []byte("no-such-key"), []byte("alloc-key-000099"),
+	}
+	out, found := sess.GetBatch(keys, nil)
+	for i, k := range keys {
+		cols, ok := sess.Get(k, nil)
+		if ok != found[i] {
+			t.Fatalf("key %q: found %v vs %v", k, found[i], ok)
+		}
+		if ok && string(out[i][0]) != string(cols[0]) {
+			t.Fatalf("key %q: %q vs %q", k, out[i][0], cols[0])
+		}
+	}
+}

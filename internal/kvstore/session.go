@@ -15,6 +15,9 @@ type Session struct {
 	s      *Store
 	worker int
 	h      *epoch.Handle
+
+	put1  [1]value.ColPut // PutSimple scratch (Put does not retain the slice)
+	batch BatchScratch    // GetBatch/GetBatchInto scratch
 }
 
 // Session creates a session bound to the given worker's log.
@@ -34,16 +37,50 @@ func (ss *Session) Get(key []byte, cols []int) ([][]byte, bool) {
 	return ss.s.Get(key, cols)
 }
 
-// Put applies column modifications atomically via this session's log.
+// GetInto is Get appending the columns to dst (see Store.GetInto); with a
+// reused dst the read path performs no allocations.
+func (ss *Session) GetInto(key []byte, cols []int, dst [][]byte) ([][]byte, bool) {
+	ss.h.Enter()
+	defer ss.h.Exit()
+	return ss.s.GetInto(key, cols, dst)
+}
+
+// GetBatch retrieves many keys in one epoch-protected critical section,
+// descending in tree order to share cache paths (§4.8). Results are in
+// input order; cols == nil returns all columns.
+func (ss *Session) GetBatch(keys [][]byte, cols []int) ([][][]byte, []bool) {
+	ss.h.Enter()
+	defer ss.h.Exit()
+	vals, ok := ss.s.GetBatchInto(keys, &ss.batch)
+	// Copy the found flags out of the session scratch: this is the safe
+	// allocating wrapper, so nothing it returns may alias reusable state.
+	found := make([]bool, len(ok))
+	copy(found, ok)
+	return extractBatchCols(vals, ok, cols), found
+}
+
+// GetBatchInto is the allocation-free batched lookup: results live in the
+// session's scratch and are valid until the session's next batched get.
+// Column extraction is the caller's job (see AppendCols).
+func (ss *Session) GetBatchInto(keys [][]byte) ([]*value.Value, []bool) {
+	ss.h.Enter()
+	defer ss.h.Exit()
+	return ss.s.GetBatchInto(keys, &ss.batch)
+}
+
+// Put applies column modifications atomically via this session's log. The
+// puts slice is not retained (safe to reuse), but the Data slices are —
+// they become the new value's columns and must not be modified after.
 func (ss *Session) Put(key []byte, puts []value.ColPut) uint64 {
 	ss.h.Enter()
 	defer ss.h.Exit()
 	return ss.s.Put(ss.worker, key, puts)
 }
 
-// PutSimple stores data as column 0.
+// PutSimple stores data as column 0. data is retained; key is not.
 func (ss *Session) PutSimple(key, data []byte) uint64 {
-	return ss.Put(key, []value.ColPut{{Col: 0, Data: data}})
+	ss.put1[0] = value.ColPut{Col: 0, Data: data}
+	return ss.Put(key, ss.put1[:])
 }
 
 // Remove deletes key via this session's log.

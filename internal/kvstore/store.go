@@ -179,32 +179,85 @@ func (s *Store) Get(key []byte, cols []int) ([][]byte, bool) {
 	return pickCols(v, cols), true
 }
 
+// GetInto is Get appending the requested columns to dst instead of
+// allocating a fresh slice; it returns the extended slice. With a reused
+// dst the read path performs no allocations (the column contents alias the
+// immutable value, so no byte copying happens either).
+func (s *Store) GetInto(key []byte, cols []int, dst [][]byte) ([][]byte, bool) {
+	v, ok := s.tree.Get(key)
+	if !ok {
+		return dst, false
+	}
+	return AppendCols(dst, v, cols), true
+}
+
 // GetValue returns the whole value object.
 func (s *Store) GetValue(key []byte) (*value.Value, bool) { return s.tree.Get(key) }
+
+// BatchScratch holds reusable state for GetBatchInto: the result slices and
+// the core tree's batch-ordering scratch. One scratch per worker or
+// connection makes steady-state batched reads allocation-free.
+type BatchScratch struct {
+	vals  []*value.Value
+	found []bool
+	core  core.BatchScratch
+}
 
 // GetBatch retrieves many keys at once, processing them in tree order to
 // share cache paths between descents (§4.8's PALM-style batching). Results
 // are in input order; cols == nil returns all columns.
 func (s *Store) GetBatch(keys [][]byte, cols []int) (out [][][]byte, found []bool) {
-	vals, ok := s.tree.GetBatch(keys)
-	out = make([][][]byte, len(keys))
+	var sc BatchScratch
+	vals, ok := s.GetBatchInto(keys, &sc)
+	return extractBatchCols(vals, ok, cols), ok
+}
+
+// extractBatchCols materializes per-key column sets from batched values;
+// shared by the allocating GetBatch wrappers.
+func extractBatchCols(vals []*value.Value, ok []bool, cols []int) [][][]byte {
+	out := make([][][]byte, len(vals))
 	for i, v := range vals {
 		if ok[i] {
 			out[i] = pickCols(v, cols)
 		}
 	}
-	return out, ok
+	return out
+}
+
+// GetBatchInto is the allocation-free batched lookup: values and found
+// flags are written into sc's reusable slices and remain valid until the
+// next call with the same scratch. Column extraction is left to the caller
+// (each request in a batch may want different columns); use AppendCols.
+func (s *Store) GetBatchInto(keys [][]byte, sc *BatchScratch) ([]*value.Value, []bool) {
+	n := len(keys)
+	if cap(sc.vals) < n {
+		sc.vals = make([]*value.Value, n)
+		sc.found = make([]bool, n)
+	}
+	sc.vals = sc.vals[:n]
+	sc.found = sc.found[:n]
+	s.tree.GetBatchInto(keys, sc.vals, sc.found, &sc.core)
+	return sc.vals, sc.found
+}
+
+// AppendCols appends the requested columns of v (nil = all) to dst and
+// returns the extended slice. The appended slices alias v's immutable
+// columns and must not be mutated.
+func AppendCols(dst [][]byte, v *value.Value, cols []int) [][]byte {
+	if cols == nil {
+		return append(dst, v.Cols()...)
+	}
+	for _, c := range cols {
+		dst = append(dst, v.Col(c))
+	}
+	return dst
 }
 
 func pickCols(v *value.Value, cols []int) [][]byte {
 	if cols == nil {
 		return v.Cols()
 	}
-	out := make([][]byte, len(cols))
-	for i, c := range cols {
-		out[i] = v.Col(c)
-	}
-	return out
+	return AppendCols(make([][]byte, 0, len(cols)), v, cols)
 }
 
 // Put applies the column modifications to key atomically, logging through

@@ -5,6 +5,17 @@
 // equally effective at avoiding network overhead"; batching many queries per
 // message amortizes network and syscall costs.
 //
+// Execution is batch-aware: a run of consecutive OpGet requests within one
+// message is served through Session.GetBatch, which descends the tree in
+// key order so consecutive lookups share the upper tree levels' cache lines
+// (§4.8's PALM-style batching). The rest of the request path is built for
+// steady-state zero allocation: each connection owns a connScratch whose
+// wire decode buffers, response slice, column arena, and ColPut scratch are
+// retained across messages, and decoded requests alias the frame body
+// rather than copying it. Only put data is copied out of the frame (values
+// retain their column bytes forever) — everything else on the read path is
+// reused.
+//
 // Each connection is bound to a worker id (round-robin), which selects the
 // log its puts append to — the paper's per-core logs mapped onto Go's
 // scheduler.
@@ -12,8 +23,6 @@ package server
 
 import (
 	"bufio"
-	"errors"
-	"io"
 	"net"
 	"strconv"
 	"sync"
@@ -31,6 +40,10 @@ type Server struct {
 
 	nextWorker atomic.Int64
 	workers    int
+
+	// batchedGets counts OpGet requests served through the batched
+	// Session.GetBatch path (exported as the "batched_gets" stat).
+	batchedGets atomic.Int64
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -88,6 +101,49 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// connScratch is one connection's reusable execution state. Every buffer is
+// retained across messages, so a connection in steady state allocates only
+// for put data (which the store retains) and responses that outgrow every
+// previous message.
+type connScratch struct {
+	dec   wire.DecodeBuf  // request decode buffers; requests alias the frame
+	enc   []byte          // response encode buffer
+	resps []wire.Response // response slice, one per request
+	cols  [][]byte        // arena backing Response.Cols for this message
+	keys  [][]byte        // key slice handed to Session.GetBatchInto
+	puts  []value.ColPut  // OpPut conversion scratch
+	pairs []wire.Pair     // arena backing Response.Pairs for this message
+}
+
+// minBatchRun is the shortest run of consecutive OpGets routed through the
+// batched path; a single get gains nothing from batch ordering.
+const minBatchRun = 2
+
+// maxRetainedScratch bounds how much scratch one connection keeps between
+// messages: buffers grown past this by an unusually large message are
+// released afterwards rather than pinned for the connection's lifetime.
+const maxRetainedScratch = 1 << 20
+
+// shrink releases oversized buffers after a message has been encoded.
+func (sc *connScratch) shrink() {
+	sc.dec.Shrink(maxRetainedScratch)
+	if cap(sc.enc) > maxRetainedScratch {
+		sc.enc = nil
+	}
+	if cap(sc.resps)*64 > maxRetainedScratch { // ~sizeof(wire.Response)
+		sc.resps = nil
+	}
+	if cap(sc.cols)*24 > maxRetainedScratch {
+		sc.cols = nil
+	}
+	if cap(sc.keys)*24 > maxRetainedScratch {
+		sc.keys = nil
+	}
+	if cap(sc.pairs)*48 > maxRetainedScratch {
+		sc.pairs = nil
+	}
+}
+
 func (s *Server) serveConn(conn net.Conn, worker int) {
 	defer s.wg.Done()
 	defer func() {
@@ -100,40 +156,90 @@ func (s *Server) serveConn(conn net.Conn, worker int) {
 	defer sess.Close()
 	r := bufio.NewReaderSize(conn, 1<<16)
 	w := bufio.NewWriterSize(conn, 1<<16)
-	resps := make([]wire.Response, 0, 64)
+	sc := &connScratch{}
 	for {
-		reqs, err := wire.ReadRequests(r)
+		reqs, err := wire.ReadRequestsInto(r, &sc.dec)
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
-				// Protocol error: drop the connection.
-				return
-			}
+			// EOF and friends are orderly shutdown; anything else is a
+			// protocol error. Either way, drop the connection.
 			return
 		}
-		resps = resps[:0]
-		for i := range reqs {
-			resps = append(resps, s.execute(sess, &reqs[i]))
-		}
-		if err := wire.WriteResponses(w, resps); err != nil {
+		s.executeBatch(sess, reqs, sc)
+		if err := wire.WriteResponsesInto(w, sc.resps, &sc.enc); err != nil {
 			return
 		}
+		sc.shrink()
 	}
 }
 
-func (s *Server) execute(sess *kvstore.Session, r *wire.Request) wire.Response {
+// executeBatch fills sc.resps with one response per request. Runs of
+// consecutive OpGets of length >= minBatchRun are served through the
+// session's batched lookup; everything else executes one at a time.
+func (s *Server) executeBatch(sess *kvstore.Session, reqs []wire.Request, sc *connScratch) {
+	if cap(sc.resps) < len(reqs) {
+		sc.resps = make([]wire.Response, len(reqs))
+	}
+	sc.resps = sc.resps[:len(reqs)]
+	sc.cols = sc.cols[:0]
+	sc.pairs = sc.pairs[:0]
+	for i := 0; i < len(reqs); {
+		if reqs[i].Op == wire.OpGet {
+			j := i + 1
+			for j < len(reqs) && reqs[j].Op == wire.OpGet {
+				j++
+			}
+			if j-i >= minBatchRun {
+				s.executeGetRun(sess, reqs[i:j], sc.resps[i:j], sc)
+				i = j
+				continue
+			}
+		}
+		sc.resps[i] = s.execute(sess, &reqs[i], sc)
+		i++
+	}
+}
+
+// executeGetRun serves a run of OpGet requests through Session.GetBatchInto
+// (§4.8). Response columns are appended to sc.cols, a per-message arena.
+func (s *Server) executeGetRun(sess *kvstore.Session, reqs []wire.Request, resps []wire.Response, sc *connScratch) {
+	sc.keys = sc.keys[:0]
+	for i := range reqs {
+		sc.keys = append(sc.keys, reqs[i].Key)
+	}
+	vals, found := sess.GetBatchInto(sc.keys)
+	s.batchedGets.Add(int64(len(reqs)))
+	for i := range reqs {
+		if !found[i] {
+			resps[i] = wire.Response{Status: wire.StatusNotFound}
+			continue
+		}
+		start := len(sc.cols)
+		sc.cols = kvstore.AppendCols(sc.cols, vals[i], reqs[i].Cols)
+		resps[i] = wire.Response{Status: wire.StatusOK, Cols: sc.cols[start:len(sc.cols):len(sc.cols)]}
+	}
+}
+
+// execute serves one request. Responses may alias sc's arenas and the
+// request's frame buffer; they are valid until the next message.
+func (s *Server) execute(sess *kvstore.Session, r *wire.Request, sc *connScratch) wire.Response {
 	switch r.Op {
 	case wire.OpGet:
-		cols, ok := sess.Get(r.Key, r.Cols)
+		start := len(sc.cols)
+		cols, ok := sess.GetInto(r.Key, r.Cols, sc.cols)
+		sc.cols = cols
 		if !ok {
 			return wire.Response{Status: wire.StatusNotFound}
 		}
-		return wire.Response{Status: wire.StatusOK, Cols: cols}
+		return wire.Response{Status: wire.StatusOK, Cols: sc.cols[start:len(sc.cols):len(sc.cols)]}
 	case wire.OpPut:
-		puts := make([]value.ColPut, len(r.Puts))
-		for i, p := range r.Puts {
-			puts[i] = value.ColPut{Col: p.Col, Data: p.Data}
+		// Reuse the ColPut slice but copy the data: decoded put data
+		// aliases the connection's frame buffer, while the store retains
+		// column bytes in the immutable value.
+		sc.puts = sc.puts[:0]
+		for _, p := range r.Puts {
+			sc.puts = append(sc.puts, value.ColPut{Col: p.Col, Data: append([]byte(nil), p.Data...)})
 		}
-		ver := sess.Put(r.Key, puts)
+		ver := sess.Put(r.Key, sc.puts)
 		return wire.Response{Status: wire.StatusOK, Version: ver}
 	case wire.OpRemove:
 		if sess.Remove(r.Key) {
@@ -142,11 +248,11 @@ func (s *Server) execute(sess *kvstore.Session, r *wire.Request) wire.Response {
 		return wire.Response{Status: wire.StatusNotFound}
 	case wire.OpGetRange:
 		pairs := sess.GetRange(r.Key, r.N, r.Cols)
-		out := make([]wire.Pair, len(pairs))
-		for i, p := range pairs {
-			out[i] = wire.Pair{Key: p.Key, Cols: p.Cols}
+		start := len(sc.pairs)
+		for _, p := range pairs {
+			sc.pairs = append(sc.pairs, wire.Pair{Key: p.Key, Cols: p.Cols})
 		}
-		return wire.Response{Status: wire.StatusOK, Pairs: out}
+		return wire.Response{Status: wire.StatusOK, Pairs: sc.pairs[start:len(sc.pairs):len(sc.pairs)]}
 	case wire.OpStats:
 		return s.statsResponse()
 	default:
@@ -170,6 +276,7 @@ func (s *Server) statsResponse() wire.Response {
 		metric("root_retries", st.RootRetries),
 		metric("local_retries", st.LocalRetries),
 		metric("slot_reuses", st.SlotReuses),
+		metric("batched_gets", s.batchedGets.Load()),
 	}}
 }
 

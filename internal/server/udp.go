@@ -1,8 +1,6 @@
 package server
 
 import (
-	"bufio"
-	"bytes"
 	"fmt"
 	"net"
 
@@ -55,30 +53,34 @@ func (s *Server) serveUDP(l *udpListener) {
 	defer s.wg.Done()
 	sess := s.store.Session(l.worker)
 	defer sess.Close()
+	// One receive buffer, decode scratch, and encode buffer per socket,
+	// reused across datagrams — the same steady-state zero-allocation
+	// discipline as the TCP path's connScratch.
 	buf := make([]byte, maxUDPDatagram)
-	resps := make([]wire.Response, 0, 64)
-	var out bytes.Buffer
+	sc := &connScratch{}
 	for {
+		sc.shrink() // at loop top so the malformed-datagram continues hit it too
 		n, peer, err := l.conn.ReadFromUDP(buf)
 		if err != nil {
 			return // socket closed
 		}
-		reqs, err := wire.ReadRequests(bufio.NewReader(bytes.NewReader(buf[:n])))
+		body, err := wire.ParseFrame(buf[:n])
 		if err != nil {
 			continue // drop malformed datagrams
 		}
-		resps = resps[:0]
-		for i := range reqs {
-			resps = append(resps, s.execute(sess, &reqs[i]))
-		}
-		out.Reset()
-		w := bufio.NewWriter(&out)
-		if err := wire.WriteResponses(w, resps); err != nil {
+		reqs, err := wire.ParseRequests(body, &sc.dec)
+		if err != nil {
 			continue
 		}
-		if out.Len() > maxUDPDatagram {
+		s.executeBatch(sess, reqs, sc)
+		out, err := wire.AppendResponses(sc.enc[:0], sc.resps)
+		if err != nil {
+			continue
+		}
+		sc.enc = out
+		if len(out) > maxUDPDatagram {
 			continue // response too large for a datagram; client times out
 		}
-		l.conn.WriteToUDP(out.Bytes(), peer)
+		l.conn.WriteToUDP(out, peer)
 	}
 }

@@ -7,6 +7,14 @@
 // Framing: every message is a 4-byte little-endian length followed by the
 // body. Bodies hold a 4-byte request/response count followed by that many
 // requests or responses.
+//
+// Two decode/encode surfaces exist. The legacy functions (ReadRequests,
+// WriteRequests, ...) return self-contained values and are safe to retain;
+// they draw their frame buffers from an internal pool. The scratch-based
+// variants (ReadRequestsInto, WriteResponsesInto, ...) reuse per-connection
+// buffers across messages and decode by aliasing the frame body instead of
+// copying, making the steady-state hot path allocation-free; their results
+// are only valid until the next call with the same scratch.
 package wire
 
 import (
@@ -15,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // OpCode identifies a request type.
@@ -73,27 +82,405 @@ type Response struct {
 // MaxMessage bounds a message body; larger frames are rejected as corrupt.
 const MaxMessage = 64 << 20
 
-var errTooLarge = errors.New("wire: message exceeds MaxMessage")
+var (
+	errTooLarge = errors.New("wire: message exceeds MaxMessage")
+	errShort    = errors.New("wire: short message")
+)
 
-// WriteRequests frames and writes a request batch.
-func WriteRequests(w *bufio.Writer, reqs []Request) error {
-	body := make([]byte, 0, 64*len(reqs))
-	body = binary.LittleEndian.AppendUint32(body, uint32(len(reqs)))
-	for i := range reqs {
-		body = appendRequest(body, &reqs[i])
+// Minimum encoded sizes, used to sanity-bound batch counts before sizing
+// decode buffers: a request is at least op + keylen (3 bytes), a response at
+// least status + version + ncols + npairs (13 bytes).
+const (
+	minRequestSize  = 3
+	minResponseSize = 13
+)
+
+// Approximate in-memory struct sizes, used by Shrink to bound *retained*
+// scratch: a tiny wire request still occupies a full Request struct, so the
+// cap math must use the struct size, not the wire size.
+const (
+	requestStructBytes  = 88 // Op + Key/Cols/Puts headers + N
+	responseStructBytes = 64 // Status + Version + Cols/Pairs headers
+)
+
+// framePool recycles frame buffers for the legacy read/write entry points,
+// so even callers without per-connection scratch avoid steady-state frame
+// allocations. Oversized buffers are dropped rather than pinned in the pool.
+var framePool = sync.Pool{New: func() any { return new([]byte) }}
+
+const maxPooledFrame = 1 << 20
+
+func putFrameBuf(b *[]byte) {
+	if cap(*b) <= maxPooledFrame {
+		framePool.Put(b)
 	}
-	return writeFrame(w, body)
 }
 
-// ReadRequests reads one framed request batch.
+// DecodeBuf is one connection's reusable request-decode state: the raw frame
+// body plus arenas backing the decoded requests' Key, Cols, and Puts fields.
+// Requests returned by ReadRequestsInto/ParseRequests alias these buffers
+// and are valid only until the next call with the same DecodeBuf.
+type DecodeBuf struct {
+	frame []byte
+	reqs  []Request
+	cols  []int
+	puts  []ColData
+}
+
+// Shrink releases any of d's buffers grown past roughly max bytes, so one
+// oversized message does not pin its peak footprint for the connection's
+// lifetime. Call between messages (never while decoded requests are live).
+func (d *DecodeBuf) Shrink(max int) {
+	if cap(d.frame) > max {
+		d.frame = nil
+	}
+	if cap(d.reqs)*requestStructBytes > max {
+		d.reqs = nil
+	}
+	if cap(d.cols)*8 > max {
+		d.cols = nil
+	}
+	if cap(d.puts)*32 > max {
+		d.puts = nil
+	}
+}
+
+// ReadRequestsInto reads one framed request batch into d's reusable buffers.
+// The returned requests alias d and remain valid until the next call.
+func ReadRequestsInto(r *bufio.Reader, d *DecodeBuf) ([]Request, error) {
+	body, err := readFrameInto(r, &d.frame)
+	if err != nil {
+		return nil, err
+	}
+	return ParseRequests(body, d)
+}
+
+// ParseRequests decodes a request-batch body (the frame payload, without the
+// 4-byte length header). Decoded Key and put Data fields alias body; Cols
+// and Puts slices live in d's arenas. Results are valid until the next call
+// with the same DecodeBuf or until body's buffer is reused.
+func ParseRequests(body []byte, d *DecodeBuf) ([]Request, error) {
+	n, body, err := readU32(body)
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > len(body)/minRequestSize {
+		// The count cannot be honest: each request encodes to at least
+		// minRequestSize bytes. Reject before sizing d.reqs, so a forged
+		// count cannot amplify a small frame into a huge allocation.
+		return nil, errShort
+	}
+	if cap(d.reqs) < int(n) {
+		d.reqs = make([]Request, n)
+	} else {
+		d.reqs = d.reqs[:n]
+	}
+	d.cols = d.cols[:0]
+	d.puts = d.puts[:0]
+	for i := range d.reqs {
+		body, err = parseRequestAlias(body, &d.reqs[i], d)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(body) != 0 {
+		return nil, errors.New("wire: trailing request bytes")
+	}
+	return d.reqs, nil
+}
+
+// parseRequestAlias decodes one request without copying: Key and put Data
+// alias b, Cols/Puts slice into d's arenas. All fields of r are overwritten.
+func parseRequestAlias(b []byte, r *Request, d *DecodeBuf) ([]byte, error) {
+	*r = Request{}
+	if len(b) < 3 {
+		return nil, errShort
+	}
+	r.Op = OpCode(b[0])
+	klen := int(binary.LittleEndian.Uint16(b[1:]))
+	b = b[3:]
+	if len(b) < klen {
+		return nil, errShort
+	}
+	r.Key = b[:klen:klen]
+	b = b[klen:]
+	switch r.Op {
+	case OpGet, OpGetRange:
+		if len(b) < 1 {
+			return nil, errShort
+		}
+		ncols := int(b[0])
+		b = b[1:]
+		if len(b) < 2*ncols {
+			return nil, errShort
+		}
+		if ncols > 0 {
+			start := len(d.cols)
+			for i := 0; i < ncols; i++ {
+				d.cols = append(d.cols, int(binary.LittleEndian.Uint16(b)))
+				b = b[2:]
+			}
+			r.Cols = d.cols[start:len(d.cols):len(d.cols)]
+		}
+		if r.Op == OpGetRange {
+			if len(b) < 2 {
+				return nil, errShort
+			}
+			r.N = int(binary.LittleEndian.Uint16(b))
+			b = b[2:]
+		}
+	case OpPut:
+		if len(b) < 1 {
+			return nil, errShort
+		}
+		nputs := int(b[0])
+		b = b[1:]
+		start := len(d.puts)
+		for i := 0; i < nputs; i++ {
+			if len(b) < 6 {
+				return nil, errShort
+			}
+			col := int(binary.LittleEndian.Uint16(b))
+			dlen := int(binary.LittleEndian.Uint32(b[2:]))
+			b = b[6:]
+			if len(b) < dlen {
+				return nil, errShort
+			}
+			d.puts = append(d.puts, ColData{Col: col, Data: b[:dlen:dlen]})
+			b = b[dlen:]
+		}
+		r.Puts = d.puts[start:len(d.puts):len(d.puts)]
+	case OpRemove, OpStats:
+	default:
+		return nil, fmt.Errorf("wire: unknown opcode %d", r.Op)
+	}
+	return b, nil
+}
+
+// RespDecodeBuf is the response-side analogue of DecodeBuf, used by clients
+// that read many response batches on one connection.
+type RespDecodeBuf struct {
+	frame []byte
+	resps []Response
+	cols  [][]byte
+	pairs []Pair
+}
+
+// Shrink is DecodeBuf.Shrink for the response side.
+func (d *RespDecodeBuf) Shrink(max int) {
+	if cap(d.frame) > max {
+		d.frame = nil
+	}
+	if cap(d.resps)*responseStructBytes > max {
+		d.resps = nil
+	}
+	if cap(d.cols)*24 > max {
+		d.cols = nil
+	}
+	if cap(d.pairs)*48 > max {
+		d.pairs = nil
+	}
+}
+
+// ReadResponsesInto reads one framed response batch into d's reusable
+// buffers. The returned responses alias d and are valid until the next call.
+func ReadResponsesInto(r *bufio.Reader, d *RespDecodeBuf) ([]Response, error) {
+	body, err := readFrameInto(r, &d.frame)
+	if err != nil {
+		return nil, err
+	}
+	return ParseResponses(body, d)
+}
+
+// ParseResponses decodes a response-batch body; column data and pair keys
+// alias body, slice headers live in d's arenas. Results are valid until the
+// next call with the same RespDecodeBuf or until body's buffer is reused.
+func ParseResponses(body []byte, d *RespDecodeBuf) ([]Response, error) {
+	n, body, err := readU32(body)
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > len(body)/minResponseSize {
+		return nil, errShort
+	}
+	if cap(d.resps) < int(n) {
+		d.resps = make([]Response, n)
+	} else {
+		d.resps = d.resps[:n]
+	}
+	d.cols = d.cols[:0]
+	d.pairs = d.pairs[:0]
+	for i := range d.resps {
+		body, err = parseResponseAlias(body, &d.resps[i], d)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(body) != 0 {
+		return nil, errors.New("wire: trailing response bytes")
+	}
+	return d.resps, nil
+}
+
+func parseResponseAlias(b []byte, r *Response, d *RespDecodeBuf) ([]byte, error) {
+	*r = Response{}
+	if len(b) < 13 {
+		return nil, errShort
+	}
+	r.Status = b[0]
+	r.Version = binary.LittleEndian.Uint64(b[1:])
+	ncols := int(binary.LittleEndian.Uint16(b[9:]))
+	b = b[11:]
+	var err error
+	if ncols > 0 {
+		r.Cols, b, err = parseColsAlias(b, ncols, d)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(b) < 2 {
+		return nil, errShort
+	}
+	npairs := int(binary.LittleEndian.Uint16(b))
+	b = b[2:]
+	if npairs > 0 {
+		start := len(d.pairs)
+		for i := 0; i < npairs; i++ {
+			var p Pair
+			if len(b) < 2 {
+				return nil, errShort
+			}
+			klen := int(binary.LittleEndian.Uint16(b))
+			b = b[2:]
+			if len(b) < klen+2 {
+				return nil, errShort
+			}
+			p.Key = b[:klen:klen]
+			b = b[klen:]
+			nc := int(binary.LittleEndian.Uint16(b))
+			b = b[2:]
+			p.Cols, b, err = parseColsAlias(b, nc, d)
+			if err != nil {
+				return nil, err
+			}
+			d.pairs = append(d.pairs, p)
+		}
+		r.Pairs = d.pairs[start:len(d.pairs):len(d.pairs)]
+	}
+	return b, nil
+}
+
+// parseColsAlias reads n length-prefixed byte strings, aliasing b, with the
+// [][]byte headers appended to d's cols arena.
+func parseColsAlias(b []byte, n int, d *RespDecodeBuf) ([][]byte, []byte, error) {
+	start := len(d.cols)
+	for i := 0; i < n; i++ {
+		if len(b) < 4 {
+			return nil, nil, errShort
+		}
+		dlen := int(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		if len(b) < dlen {
+			return nil, nil, errShort
+		}
+		d.cols = append(d.cols, b[:dlen:dlen])
+		b = b[dlen:]
+	}
+	return d.cols[start:len(d.cols):len(d.cols)], b, nil
+}
+
+// AppendRequests appends a complete framed request batch (length header plus
+// body) to dst, returning the extended slice.
+func AppendRequests(dst []byte, reqs []Request) ([]byte, error) {
+	base := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(reqs)))
+	for i := range reqs {
+		dst = appendRequest(dst, &reqs[i])
+	}
+	return finishFrame(dst, base)
+}
+
+// AppendResponses appends a complete framed response batch to dst.
+func AppendResponses(dst []byte, resps []Response) ([]byte, error) {
+	base := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(resps)))
+	for i := range resps {
+		dst = appendResponse(dst, &resps[i])
+	}
+	return finishFrame(dst, base)
+}
+
+// finishFrame patches the 4-byte length header reserved at base.
+func finishFrame(dst []byte, base int) ([]byte, error) {
+	n := len(dst) - base - 4
+	if n > MaxMessage {
+		return dst[:base], errTooLarge
+	}
+	binary.LittleEndian.PutUint32(dst[base:], uint32(n))
+	return dst, nil
+}
+
+// WriteRequestsInto frames and writes a request batch, building the frame in
+// *buf (grown as needed and retained for reuse across calls).
+func WriteRequestsInto(w *bufio.Writer, reqs []Request, buf *[]byte) error {
+	b, err := AppendRequests((*buf)[:0], reqs)
+	if err != nil {
+		return err
+	}
+	*buf = b
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// WriteResponsesInto frames and writes a response batch, building the frame
+// in *buf (grown as needed and retained for reuse across calls).
+func WriteResponsesInto(w *bufio.Writer, resps []Response, buf *[]byte) error {
+	b, err := AppendResponses((*buf)[:0], resps)
+	if err != nil {
+		return err
+	}
+	*buf = b
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// WriteRequests frames and writes a request batch using a pooled buffer.
+func WriteRequests(w *bufio.Writer, reqs []Request) error {
+	bp := framePool.Get().(*[]byte)
+	err := WriteRequestsInto(w, reqs, bp)
+	putFrameBuf(bp)
+	return err
+}
+
+// WriteResponses frames and writes a response batch using a pooled buffer.
+func WriteResponses(w *bufio.Writer, resps []Response) error {
+	bp := framePool.Get().(*[]byte)
+	err := WriteResponsesInto(w, resps, bp)
+	putFrameBuf(bp)
+	return err
+}
+
+// ReadRequests reads one framed request batch. The returned requests own
+// their memory (nothing aliases internal buffers); the frame is pooled.
 func ReadRequests(r *bufio.Reader) ([]Request, error) {
-	body, err := readFrame(r)
+	bp := framePool.Get().(*[]byte)
+	defer putFrameBuf(bp)
+	body, err := readFrameInto(r, bp)
 	if err != nil {
 		return nil, err
 	}
 	n, body, err := readU32(body)
 	if err != nil {
 		return nil, err
+	}
+	if int(n) > len(body)/minRequestSize {
+		return nil, errShort
 	}
 	reqs := make([]Request, n)
 	for i := range reqs {
@@ -108,25 +495,21 @@ func ReadRequests(r *bufio.Reader) ([]Request, error) {
 	return reqs, nil
 }
 
-// WriteResponses frames and writes a response batch.
-func WriteResponses(w *bufio.Writer, resps []Response) error {
-	body := make([]byte, 0, 32*len(resps))
-	body = binary.LittleEndian.AppendUint32(body, uint32(len(resps)))
-	for i := range resps {
-		body = appendResponse(body, &resps[i])
-	}
-	return writeFrame(w, body)
-}
-
-// ReadResponses reads one framed response batch.
+// ReadResponses reads one framed response batch. The returned responses own
+// their memory; the frame is pooled.
 func ReadResponses(r *bufio.Reader) ([]Response, error) {
-	body, err := readFrame(r)
+	bp := framePool.Get().(*[]byte)
+	defer putFrameBuf(bp)
+	body, err := readFrameInto(r, bp)
 	if err != nil {
 		return nil, err
 	}
 	n, body, err := readU32(body)
 	if err != nil {
 		return nil, err
+	}
+	if int(n) > len(body)/minResponseSize {
+		return nil, errShort
 	}
 	resps := make([]Response, n)
 	for i := range resps {
@@ -141,22 +524,26 @@ func ReadResponses(r *bufio.Reader) ([]Response, error) {
 	return resps, nil
 }
 
-func writeFrame(w *bufio.Writer, body []byte) error {
-	if len(body) > MaxMessage {
-		return errTooLarge
+// ParseFrame validates a self-contained frame (one UDP datagram: 4-byte
+// length header plus body filling the rest of the buffer) and returns the
+// body, aliasing b.
+func ParseFrame(b []byte) ([]byte, error) {
+	if len(b) < 4 {
+		return nil, errShort
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+	n := binary.LittleEndian.Uint32(b)
+	if n > MaxMessage {
+		return nil, errTooLarge
 	}
-	if _, err := w.Write(body); err != nil {
-		return err
+	if int(n) != len(b)-4 {
+		return nil, errors.New("wire: frame length mismatch")
 	}
-	return w.Flush()
+	return b[4:], nil
 }
 
-func readFrame(r *bufio.Reader) ([]byte, error) {
+// readFrameInto reads one length-prefixed frame body into *buf, growing it
+// as needed; the buffer is retained across calls for reuse.
+func readFrameInto(r *bufio.Reader, buf *[]byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -165,11 +552,15 @@ func readFrame(r *bufio.Reader) ([]byte, error) {
 	if n > MaxMessage {
 		return nil, errTooLarge
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	if cap(*buf) < int(n) {
+		*buf = make([]byte, n)
+	} else {
+		*buf = (*buf)[:n]
+	}
+	if _, err := io.ReadFull(r, *buf); err != nil {
 		return nil, err
 	}
-	return body, nil
+	return *buf, nil
 }
 
 func appendRequest(b []byte, r *Request) []byte {
@@ -196,8 +587,6 @@ func appendRequest(b []byte, r *Request) []byte {
 	}
 	return b
 }
-
-var errShort = errors.New("wire: short message")
 
 func parseRequest(b []byte, r *Request) ([]byte, error) {
 	if len(b) < 3 {
