@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 
 	"repro/internal/client"
@@ -98,8 +99,15 @@ func main() {
 	case "stats":
 		stats, err := c.Stats()
 		check(err)
-		for _, name := range []string{"keys", "splits", "layer_creations", "layer_collapses",
-			"node_deletes", "root_retries", "local_retries", "slot_reuses"} {
+		// Print every metric the server reports, sorted, so new counters
+		// (batched_gets, batched_puts, flush_errors, ...) show up without
+		// client changes.
+		names := make([]string, 0, len(stats))
+		for name := range stats {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
 			fmt.Printf("%-16s %d\n", name, stats[name])
 		}
 	default:

@@ -4,7 +4,18 @@
 // paper's baseline data structures, and a benchmark harness that regenerates
 // every table and figure of the paper's evaluation.
 //
+// Both halves of the request pipeline are batched and allocation-free in
+// steady state. Reads: scratch-aliasing wire decoding, PALM-style batched
+// lookups (§4.8), and arena-appended responses. Writes: runs of puts
+// descend the tree in key order sharing one border-node lock acquisition
+// per run (core.PutBatchInto), each put builds a single packed value
+// allocation (value.BuildAt), versions come from per-worker loosely
+// synchronized clocks instead of a global counter (§5.1, kvstore's
+// shardedClock), and log records are encoded directly into per-worker
+// double-buffered logs whose flushes never block appenders (§5, wal).
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
 // results. The implementation lives under internal/; runnable entry points
-// are under cmd/ and examples/.
+// are under cmd/ and examples/. BENCH_pipeline.json and
+// BENCH_writepath.json record the read- and write-path pipeline numbers.
 package repro

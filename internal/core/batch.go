@@ -16,9 +16,37 @@ type BatchScratch struct {
 	slices []uint64
 }
 
-func (sc *BatchScratch) Len() int           { return len(sc.idx) }
-func (sc *BatchScratch) Less(a, b int) bool { return sc.slices[sc.idx[a]] < sc.slices[sc.idx[b]] }
-func (sc *BatchScratch) Swap(a, b int)      { sc.idx[a], sc.idx[b] = sc.idx[b], sc.idx[a] }
+func (sc *BatchScratch) Len() int { return len(sc.idx) }
+
+// Less orders by leading key slice, breaking ties by input index so the
+// order is deterministic and, in particular, duplicate keys within one batch
+// keep their request order (PutBatchInto relies on this to apply repeated
+// puts to a key in submission order).
+func (sc *BatchScratch) Less(a, b int) bool {
+	sa, sb := sc.slices[sc.idx[a]], sc.slices[sc.idx[b]]
+	if sa != sb {
+		return sa < sb
+	}
+	return sc.idx[a] < sc.idx[b]
+}
+func (sc *BatchScratch) Swap(a, b int) { sc.idx[a], sc.idx[b] = sc.idx[b], sc.idx[a] }
+
+// order sorts the index permutation for keys into the scratch; in steady
+// state (scratch warmed to the batch size) it performs no allocations.
+func (sc *BatchScratch) order(keys [][]byte) {
+	n := len(keys)
+	if cap(sc.idx) < n {
+		sc.idx = make([]int, n)
+		sc.slices = make([]uint64, n)
+	}
+	sc.idx = sc.idx[:n]
+	sc.slices = sc.slices[:n]
+	for i, k := range keys {
+		sc.idx[i] = i
+		sc.slices[i] = keySlice(k)
+	}
+	sort.Sort(sc)
+}
 
 // GetBatch looks up many keys in one call — the paper's PALM-inspired
 // batched lookup (§4.8). PALM sorts a batch of queries so lookups that
@@ -43,22 +71,11 @@ func (t *Tree) GetBatch(keys [][]byte) (vals []*value.Value, found []bool) {
 // have len(keys) elements) and ordering scratch. In steady state — scratch
 // warmed to the largest batch size — it performs no allocations.
 func (t *Tree) GetBatchInto(keys [][]byte, vals []*value.Value, found []bool, sc *BatchScratch) {
-	n := len(keys)
-	if n == 0 {
+	if len(keys) == 0 {
 		return
 	}
 	// Order the batch by leading key slice (cheap proxy for tree order).
-	if cap(sc.idx) < n {
-		sc.idx = make([]int, n)
-		sc.slices = make([]uint64, n)
-	}
-	sc.idx = sc.idx[:n]
-	sc.slices = sc.slices[:n]
-	for i, k := range keys {
-		sc.idx[i] = i
-		sc.slices[i] = keySlice(k)
-	}
-	sort.Sort(sc)
+	sc.order(keys)
 	for _, i := range sc.idx {
 		vals[i], found[i] = t.Get(keys[i])
 	}

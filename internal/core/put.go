@@ -26,6 +26,38 @@ func (t *Tree) Update(key []byte, f func(old *value.Value) *value.Value) (old, s
 	return old, stored
 }
 
+// lockBorder descends from root to the border node responsible for slice
+// and locks it. A split that committed between the descent and the lock may
+// have shifted responsibility for the key to a right sibling, so the border
+// links are chased hand-over-hand under lock. Returns nil — with everything
+// unlocked and the root retry counted — when the node was deleted
+// underneath us and the caller must restart from the tree root. This is the
+// one copy of the writer-side locking protocol, shared by put, putRun, and
+// remove.
+func (t *Tree) lockBorder(root *nodeHeader, slice uint64) *borderNode {
+	n, _ := t.findBorder(root, slice)
+	n.h.lock()
+	if isDeleted(n.h.version.Load()) {
+		n.h.unlock()
+		t.stats.RootRetries.Add(1)
+		return nil
+	}
+	for {
+		next := n.next.Load()
+		if next == nil || !next.keyGEqLowkey(slice) {
+			return n
+		}
+		next.h.lock()
+		n.h.unlock()
+		n = next
+		if isDeleted(n.h.version.Load()) {
+			n.h.unlock()
+			t.stats.RootRetries.Add(1)
+			return nil
+		}
+	}
+}
+
 // put descends the trie to the border node responsible for key, locks it,
 // and updates, inserts, creates a layer, or splits as needed.
 func (t *Tree) put(key []byte, f func(*value.Value) *value.Value) (old, stored *value.Value, replaced bool) {
@@ -35,29 +67,9 @@ restart:
 	for {
 		slice := keySlice(k)
 		ord := keyOrd(k)
-		n, _ := t.findBorder(root, slice)
-		n.h.lock()
-		if isDeleted(n.h.version.Load()) {
-			n.h.unlock()
-			t.stats.RootRetries.Add(1)
+		n := t.lockBorder(root, slice)
+		if n == nil {
 			goto restart
-		}
-		// A split that committed between our descent and our lock may have
-		// shifted responsibility for the key to a right sibling; chase the
-		// border links hand-over-hand under lock.
-		for {
-			next := n.next.Load()
-			if next == nil || !next.keyGEqLowkey(slice) {
-				break
-			}
-			next.h.lock()
-			n.h.unlock()
-			n = next
-			if isDeleted(n.h.version.Load()) {
-				n.h.unlock()
-				t.stats.RootRetries.Add(1)
-				goto restart
-			}
 		}
 		perm := n.perm()
 		rank, found := n.searchRank(perm, slice, ord)

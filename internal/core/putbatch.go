@@ -1,0 +1,175 @@
+package core
+
+import (
+	"bytes"
+	"unsafe"
+
+	"repro/internal/value"
+)
+
+// PutBatchInto applies read-modify-writes to many keys in one call — the
+// write-path counterpart of GetBatchInto (§4.8's PALM-style batching).
+// Keys are processed in tree order so consecutive descents share the upper
+// trie and B+-tree levels' cache lines, and — the part a sorted get batch
+// cannot do — every maximal run of batch keys that resolves to the same
+// border node is applied under a single acquisition of that node's lock,
+// amortizing the lock word's cache-line bounce across the run.
+//
+// apply is called once per key, under the owning border node's lock, with
+// the key's original batch index and its current value (nil if absent), and
+// must return the non-nil value to store — exactly Update's contract (§4.7),
+// so multi-column puts stay atomic and version assignment can happen under
+// the lock (§5). Duplicate keys in one batch are applied in input order
+// (BatchScratch.order breaks slice ties by input index).
+func (t *Tree) PutBatchInto(keys [][]byte, sc *BatchScratch, apply func(i int, old *value.Value) *value.Value) {
+	if len(keys) == 0 {
+		return
+	}
+	sc.order(keys)
+	for pos := 0; pos < len(keys); {
+		pos = t.putRun(keys, sc.idx, pos, apply)
+	}
+}
+
+// putRun performs the put for keys[idx[pos]] — the same descend/lock/chase
+// protocol as put — and then, while the border node lock is still held,
+// greedily applies subsequent batch keys that fall into the same node (see
+// extendRun). Returns the position after the last key applied.
+func (t *Tree) putRun(keys [][]byte, idx []int, pos int, apply func(int, *value.Value) *value.Value) int {
+	key := keys[idx[pos]]
+restart:
+	root := t.rootHeader()
+	k := key
+	depth := 0
+	for {
+		slice := keySlice(k)
+		ord := keyOrd(k)
+		n := t.lockBorder(root, slice)
+		if n == nil {
+			goto restart
+		}
+		perm := n.perm()
+		rank, found := n.searchRank(perm, slice, ord)
+		if found {
+			slot := perm.slot(rank)
+			switch kl := n.keylen[slot].Load(); kl {
+			case klLayer:
+				lvp := n.loadLV(slot)
+				n.h.unlock()
+				root = t.resolveLayer(n, slot, lvp)
+				k = k[8:]
+				depth++
+				continue
+			case klSuffix:
+				var suf []byte
+				if sp := n.suffix[slot].Load(); sp != nil {
+					suf = *sp
+				}
+				if bytes.Equal(suf, k[8:]) {
+					old := (*value.Value)(n.loadLV(slot))
+					n.storeLV(slot, unsafe.Pointer(apply(idx[pos], old)))
+					return t.extendRun(n, keys, idx, pos+1, depth, key, apply)
+				}
+				// Conflicting suffix: push the old key one layer down
+				// (§4.6.3), then continue inserting into the new layer.
+				layer := t.makeLayer(n, slot, suf)
+				n.h.unlock()
+				root = layer
+				k = k[8:]
+				depth++
+				continue
+			case klUnstable:
+				panic("core: unstable slot observed under lock")
+			default:
+				old := (*value.Value)(n.loadLV(slot))
+				n.storeLV(slot, unsafe.Pointer(apply(idx[pos], old)))
+				return t.extendRun(n, keys, idx, pos+1, depth, key, apply)
+			}
+		}
+		// Key absent: insert it.
+		stored := apply(idx[pos], nil)
+		if perm.count() < width {
+			t.insertSlot(n, perm, rank, slice, k, stored)
+			t.count.Add(1)
+			return t.extendRun(n, keys, idx, pos+1, depth, key, apply)
+		}
+		t.splitInsert(n, rank, slice, k, stored) // unlocks
+		t.count.Add(1)
+		return pos + 1
+	}
+}
+
+// extendRun applies batch keys starting at idx[pos] to the locked border
+// node n while they keep resolving to it, then unlocks and returns the next
+// unprocessed position. prev is the previous key applied, whose leading
+// depth*8 bytes are the trie prefix that routed the descent to n's layer.
+//
+// A key extends the run only if it (a) shares that prefix (so it descends
+// to the same layer), (b) falls inside n's key range — lowkey(n) <= slice,
+// and n's next sibling does not own the slice — and (c) needs neither a
+// layer descent, a suffix push-down, nor a split. Anything else ends the
+// run; the key is handled by its own fresh descent, which keeps this loop
+// free of nested locking (no deadlock: at most one node lock is ever held).
+func (t *Tree) extendRun(n *borderNode, keys [][]byte, idx []int, pos int, depth int, prev []byte, apply func(int, *value.Value) *value.Value) int {
+	prefix := prev[:8*depth]
+	for pos < len(idx) {
+		full := keys[idx[pos]]
+		// Keys at this trie depth must be longer than the consumed prefix: an
+		// equal-length key would have been stored inline a layer up.
+		if len(full) <= len(prefix) || !bytes.Equal(full[:len(prefix)], prefix) {
+			break
+		}
+		k := full[len(prefix):]
+		slice := keySlice(k)
+		ord := keyOrd(k)
+		if !n.keyGEqLowkey(slice) {
+			break
+		}
+		if next := n.next.Load(); next != nil && next.keyGEqLowkey(slice) {
+			break
+		}
+		perm := n.perm()
+		rank, found := n.searchRank(perm, slice, ord)
+		if found {
+			slot := perm.slot(rank)
+			switch kl := n.keylen[slot].Load(); kl {
+			case klSuffix:
+				var suf []byte
+				if sp := n.suffix[slot].Load(); sp != nil {
+					suf = *sp
+				}
+				if !bytes.Equal(suf, k[8:]) {
+					goto done // needs a push-down; new descent handles it
+				}
+				old := (*value.Value)(n.loadLV(slot))
+				n.storeLV(slot, unsafe.Pointer(apply(idx[pos], old)))
+			case klLayer:
+				goto done // needs a layer descent
+			case klUnstable:
+				panic("core: unstable slot observed under lock")
+			default:
+				old := (*value.Value)(n.loadLV(slot))
+				n.storeLV(slot, unsafe.Pointer(apply(idx[pos], old)))
+			}
+		} else {
+			if perm.count() >= width {
+				goto done // needs a split
+			}
+			stored := apply(idx[pos], nil)
+			t.insertSlot(n, perm, rank, slice, k, stored)
+			t.count.Add(1)
+		}
+		pos++
+	}
+done:
+	n.h.unlock()
+	return pos
+}
+
+// PutBatch is PutBatchInto with an internal scratch, updating each key with
+// f under its border node's lock. Hot paths should hold a BatchScratch and
+// call PutBatchInto.
+func (t *Tree) PutBatch(keys [][]byte, f func(i int, old *value.Value) *value.Value) {
+	var sc BatchScratch
+	t.PutBatchInto(keys, &sc, f)
+}

@@ -34,26 +34,9 @@ restart:
 	for {
 		slice := keySlice(k)
 		ord := keyOrd(k)
-		n, _ := t.findBorder(root, slice)
-		n.h.lock()
-		if isDeleted(n.h.version.Load()) {
-			n.h.unlock()
-			t.stats.RootRetries.Add(1)
+		n := t.lockBorder(root, slice)
+		if n == nil {
 			goto restart
-		}
-		for {
-			next := n.next.Load()
-			if next == nil || !next.keyGEqLowkey(slice) {
-				break
-			}
-			next.h.lock()
-			n.h.unlock()
-			n = next
-			if isDeleted(n.h.version.Load()) {
-				n.h.unlock()
-				t.stats.RootRetries.Add(1)
-				goto restart
-			}
 		}
 		perm := n.perm()
 		rank, found := n.searchRank(perm, slice, ord)

@@ -21,7 +21,17 @@ type KV struct {
 //
 // The key passed to fn is a fresh copy the callback may retain.
 func (t *Tree) Scan(start []byte, fn func(key []byte, v *value.Value) bool) {
-	t.scanLayer(t.rootHeader(), start, true, nil, fn)
+	t.scanLayer(t.rootHeader(), start, true, nil, nil, fn)
+}
+
+// ScanInto is Scan with a caller-provided key buffer: the key passed to fn
+// aliases buf, is valid only during the callback, and must be copied if
+// retained. It returns the (possibly grown) buffer for reuse, so a caller
+// that scans repeatedly with the same buffer performs no per-key allocations
+// for key assembly.
+func (t *Tree) ScanInto(start []byte, buf []byte, fn func(key []byte, v *value.Value) bool) []byte {
+	t.scanLayer(t.rootHeader(), start, true, nil, &buf, fn)
+	return buf
 }
 
 // GetRange returns up to n key-value pairs starting with the first key at or
@@ -50,8 +60,10 @@ type scanEntry struct {
 // resume, emitting entries and recursing into deeper layers. resume/inclusive
 // bound the remaining-key space: entries < resume (or == resume when not
 // inclusive) are skipped. prefix holds the key bytes consumed by outer
-// layers. Returns false if fn aborted the scan.
-func (t *Tree) scanLayer(root *nodeHeader, resume []byte, inclusive bool, prefix []byte, fn func([]byte, *value.Value) bool) bool {
+// layers. When kbuf is non-nil, emitted keys are assembled into *kbuf and
+// are valid only during fn (ScanInto); when nil, each key is a fresh copy.
+// Returns false if fn aborted the scan.
+func (t *Tree) scanLayer(root *nodeHeader, resume []byte, inclusive bool, prefix []byte, kbuf *[]byte, fn func([]byte, *value.Value) bool) bool {
 	n, v := t.findBorder(root, keySlice(resume))
 	var ents []scanEntry
 	for {
@@ -115,7 +127,7 @@ func (t *Tree) scanLayer(root *nodeHeader, resume []byte, inclusive bool, prefix
 				}
 				sub := append(append([]byte(nil), prefix...), e.rem...)
 				layer := ascendToRoot(e.layer)
-				if !t.scanLayer(layer, substart, subinc, sub, fn) {
+				if !t.scanLayer(layer, substart, subinc, sub, kbuf, fn) {
 					return false
 				}
 			} else {
@@ -124,8 +136,14 @@ func (t *Tree) scanLayer(root *nodeHeader, resume []byte, inclusive bool, prefix
 						continue
 					}
 				}
-				full := make([]byte, 0, len(prefix)+len(e.rem))
-				full = append(append(full, prefix...), e.rem...)
+				var full []byte
+				if kbuf != nil {
+					full = append(append((*kbuf)[:0], prefix...), e.rem...)
+					*kbuf = full
+				} else {
+					full = make([]byte, 0, len(prefix)+len(e.rem))
+					full = append(append(full, prefix...), e.rem...)
+				}
 				if !fn(full, e.lv) {
 					return false
 				}

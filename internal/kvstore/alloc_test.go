@@ -3,6 +3,9 @@ package kvstore
 import (
 	"fmt"
 	"testing"
+	"time"
+
+	"repro/internal/value"
 )
 
 // newAllocTestStore returns an in-memory store with background maintenance
@@ -94,5 +97,116 @@ func TestGetBatchMatchesGet(t *testing.T) {
 		if ok && string(out[i][0]) != string(cols[0]) {
 			t.Fatalf("key %q: %q vs %q", k, out[i][0], cols[0])
 		}
+	}
+}
+
+// TestPutSimpleAllocs pins the logging-disabled put hot path at exactly one
+// allocation: the packed value (value.BuildAt). The tree descent, version
+// tick, and scratch are all allocation-free.
+func TestPutSimpleAllocs(t *testing.T) {
+	s := newAllocTestStore(t, 1000)
+	sess := s.Session(0)
+	defer sess.Close()
+	key := []byte("alloc-key-000123")
+	data := []byte("updated-column-data!")
+
+	allocs := testing.AllocsPerRun(200, func() {
+		if sess.PutSimple(key, data) == 0 {
+			t.Fatal("put failed")
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("Session.PutSimple allocates %.1f times per run, want <= 1 (the packed value)", allocs)
+	}
+}
+
+// TestPutSimpleLoggedAllocs pins the logged put path: one packed value plus
+// amortized-zero log encoding into the warmed double buffer.
+func TestPutSimpleLoggedAllocs(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir(), Workers: 1, FlushInterval: time.Hour, MaintainEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	sess := s.Session(0)
+	defer sess.Close()
+	key := []byte("logged-alloc-key")
+	data := []byte("logged-column-data")
+	// Warm both log buffers past the measured append volume.
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 300; i++ {
+			sess.PutSimple(key, data)
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		sess.PutSimple(key, data)
+	})
+	if allocs > 1 {
+		t.Fatalf("logged Session.PutSimple allocates %.1f times per run, want <= 1", allocs)
+	}
+}
+
+// TestPutBatchIntoAllocs pins the batched put at one packed value per key
+// once the scratch is warm.
+func TestPutBatchIntoAllocs(t *testing.T) {
+	s := newAllocTestStore(t, 1000)
+	sess := s.Session(0)
+	defer sess.Close()
+	const batch = 64
+	keys := make([][]byte, batch)
+	puts := make([][]value.ColPut, batch)
+	flat := make([]value.ColPut, batch)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("alloc-key-%06d", i*13%1000))
+		flat[i] = value.ColPut{Col: 0, Data: []byte("batched-column-data")}
+		puts[i] = flat[i : i+1]
+	}
+	sess.PutBatchInto(keys, puts) // warm the scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		vers := sess.PutBatchInto(keys, puts)
+		if len(vers) != batch || vers[0] == 0 {
+			t.Fatal("batch put failed")
+		}
+	})
+	if allocs > batch {
+		t.Fatalf("Session.PutBatchInto allocates %.1f per %d-key batch, want <= %d (one packed value per key)", allocs, batch, batch)
+	}
+}
+
+// TestGetRangeIntoReducesAllocs verifies the arena-based range path cuts
+// per-request garbage well below the allocating GetRange: the pair slice,
+// key copies, and column slices all come from the reused scratch. (The core
+// scan's internal per-node snapshot entries still allocate; only the
+// kvstore-level garbage is eliminated here.)
+func TestGetRangeIntoReducesAllocs(t *testing.T) {
+	s := newAllocTestStore(t, 1000)
+	sess := s.Session(0)
+	defer sess.Close()
+	var sc RangeScratch
+	start := []byte("alloc-key-000100")
+	cols := []int{0}
+	const n = 50
+	sess.GetRangeInto(start, n, cols, &sc) // warm the arenas
+
+	legacy := testing.AllocsPerRun(100, func() {
+		if pairs := sess.GetRange(start, n, cols); len(pairs) != n {
+			t.Fatalf("range: %d pairs", len(pairs))
+		}
+	})
+	into := testing.AllocsPerRun(100, func() {
+		sc.Reset()
+		pairs := sess.GetRangeInto(start, n, cols, &sc)
+		if len(pairs) != n || string(pairs[0].Key) != "alloc-key-000100" {
+			t.Fatalf("range: %d pairs", len(pairs))
+		}
+	})
+	if into > legacy/2 {
+		t.Fatalf("GetRangeInto allocates %.1f/run vs GetRange's %.1f — want at most half", into, legacy)
+	}
+	if into > 2*n {
+		t.Fatalf("GetRangeInto allocates %.1f per %d-pair range, want <= %d", into, n, 2*n)
 	}
 }

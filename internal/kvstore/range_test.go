@@ -1,0 +1,63 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// TestGetRangeIntoMatchesGetRange checks the arena-based range path returns
+// exactly what the allocating path returns, and that earlier windows stay
+// valid as later ranges append into the same scratch (subslices of a grown
+// arena keep aliasing the old backing memory, which is never rewritten).
+func TestGetRangeIntoMatchesGetRange(t *testing.T) {
+	s, err := Open(Config{MaintainEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("range-key-%05d", i))
+		s.Put(0, k, []value.ColPut{
+			{Col: 0, Data: []byte(fmt.Sprintf("v%d", i))},
+			{Col: 1, Data: []byte(fmt.Sprintf("c1-%d", i))},
+		})
+	}
+
+	var sc RangeScratch
+	cases := []struct {
+		start string
+		n     int
+		cols  []int
+	}{
+		{"range-key-00000", 10, nil},
+		{"range-key-00050", 25, []int{0}},
+		{"range-key-00190", 100, []int{1, 0}},
+		{"zzz", 5, nil},
+	}
+	var windows [][]Pair
+	for _, c := range cases {
+		windows = append(windows, s.GetRangeInto([]byte(c.start), c.n, c.cols, &sc))
+	}
+	for ci, c := range cases {
+		want := s.GetRange([]byte(c.start), c.n, c.cols)
+		got := windows[ci]
+		if len(got) != len(want) {
+			t.Fatalf("case %d: %d pairs, want %d", ci, len(got), len(want))
+		}
+		for i := range want {
+			if string(got[i].Key) != string(want[i].Key) {
+				t.Fatalf("case %d pair %d: key %q vs %q", ci, i, got[i].Key, want[i].Key)
+			}
+			if len(got[i].Cols) != len(want[i].Cols) {
+				t.Fatalf("case %d pair %d: %d cols vs %d", ci, i, len(got[i].Cols), len(want[i].Cols))
+			}
+			for j := range want[i].Cols {
+				if string(got[i].Cols[j]) != string(want[i].Cols[j]) {
+					t.Fatalf("case %d pair %d col %d: %q vs %q", ci, i, j, got[i].Cols[j], want[i].Cols[j])
+				}
+			}
+		}
+	}
+}

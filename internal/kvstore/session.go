@@ -68,19 +68,40 @@ func (ss *Session) GetBatchInto(keys [][]byte) ([]*value.Value, []bool) {
 	return ss.s.GetBatchInto(keys, &ss.batch)
 }
 
-// Put applies column modifications atomically via this session's log. The
-// puts slice is not retained (safe to reuse), but the Data slices are —
-// they become the new value's columns and must not be modified after.
+// Put applies column modifications atomically via this session's log.
+// Nothing is retained: the puts slice, the Data bytes, and the key are all
+// copied (into the packed value and the log buffer), so callers may reuse
+// their buffers immediately.
 func (ss *Session) Put(key []byte, puts []value.ColPut) uint64 {
 	ss.h.Enter()
 	defer ss.h.Exit()
 	return ss.s.Put(ss.worker, key, puts)
 }
 
-// PutSimple stores data as column 0. data is retained; key is not.
+// PutSimple stores data as column 0. Neither key nor data is retained.
 func (ss *Session) PutSimple(key, data []byte) uint64 {
 	ss.put1[0] = value.ColPut{Col: 0, Data: data}
 	return ss.Put(key, ss.put1[:])
+}
+
+// PutBatchInto applies one put per key in a single epoch-protected batched
+// tree pass, sharing border-node lock acquisitions between co-located keys
+// (§4.8 applied to writes) and encoding all log records under one log-
+// buffer lock. The returned versions (input order) live in the session's
+// scratch and are valid until the session's next batched operation.
+// Duplicate keys apply in input order; no inputs are retained.
+func (ss *Session) PutBatchInto(keys [][]byte, puts [][]value.ColPut) []uint64 {
+	ss.h.Enter()
+	defer ss.h.Exit()
+	return ss.s.PutBatchInto(ss.worker, keys, puts, &ss.batch)
+}
+
+// PutBatch is PutBatchInto returning a fresh versions slice.
+func (ss *Session) PutBatch(keys [][]byte, puts [][]value.ColPut) []uint64 {
+	vers := ss.PutBatchInto(keys, puts)
+	out := make([]uint64, len(vers))
+	copy(out, vers)
+	return out
 }
 
 // Remove deletes key via this session's log.
@@ -95,4 +116,12 @@ func (ss *Session) GetRange(start []byte, n int, cols []int) []Pair {
 	ss.h.Enter()
 	defer ss.h.Exit()
 	return ss.s.GetRange(start, n, cols)
+}
+
+// GetRangeInto is GetRange appending into the caller's reusable arenas; see
+// Store.GetRangeInto.
+func (ss *Session) GetRangeInto(start []byte, n int, cols []int, sc *RangeScratch) []Pair {
+	ss.h.Enter()
+	defer ss.h.Exit()
+	return ss.s.GetRangeInto(start, n, cols, sc)
 }

@@ -7,19 +7,28 @@
 // numbers. Multi-column puts are atomic: a concurrent get sees all or none
 // of a put's column modifications (§4.7).
 //
-// Version numbers and timestamps: the store draws both from a single
-// monotonic counter, assigned under the owning border node's lock, so
-// sequential updates to a value obtain distinct increasing versions, log
-// records are totally ordered per key (even across remove/re-insert), and
-// recovery can apply each key's updates in increasing version order after
-// cutting off at t = min over logs of the log's last timestamp (§5).
+// Version numbers and timestamps: the store draws both from per-worker
+// loosely synchronized clocks (§5.1, see shardedClock), assigned under the
+// owning border node's lock and lifted past the replaced value's version
+// (and past every remove, for fresh inserts). Sequential updates to a value
+// therefore obtain distinct increasing versions, log records are totally
+// ordered per key (even across remove/re-insert), and recovery can apply
+// each key's updates in increasing version order after cutting off at
+// t = min over logs of the log's maximum durable timestamp (§5) — all
+// without the global clock cache line every writer used to bounce.
+//
+// The write path mirrors the read path's batching and allocation
+// discipline: PutBatchInto applies a batch in tree order with one border-
+// node lock acquisition per run of co-located keys (§4.8), each put builds
+// exactly one packed value allocation (value.BuildAt), and log records are
+// encoded directly into the worker's double-buffered log (§5), so the
+// steady-state put pipeline allocates only the value itself.
 package kvstore
 
 import (
 	"fmt"
 	"os"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -58,9 +67,21 @@ type Pair struct {
 type Store struct {
 	cfg   Config
 	tree  *core.Tree
-	clock atomic.Uint64
+	clock *shardedClock
 	logs  *wal.Set // nil when persistence is disabled
 	mgr   epoch.Manager
+
+	// workerMu[w] serializes worker w's version-draw-to-log-append window
+	// (only taken when logging is enabled). Sessions sharing a worker id
+	// would otherwise interleave draw and append, letting a key's records
+	// reach the shared log out of timestamp order — after a crash the log's
+	// maximum durable timestamp would then claim a lost record as durable
+	// and replay a later delta onto an earlier state. With one session per
+	// worker (the paper's arrangement) the mutex is uncontended and stays
+	// on its own cache line. It also gates timestamp marks: the maintenance
+	// loop marks a log only when it can TryLock the worker, proving no
+	// drawn-but-unappended version exists below the mark.
+	workerMu []paddedMutex
 
 	ckptMu sync.Mutex // one checkpoint at a time
 
@@ -77,7 +98,13 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.MaintainEvery == 0 {
 		cfg.MaintainEvery = 50 * time.Millisecond
 	}
-	s := &Store{cfg: cfg, tree: core.New(), stop: make(chan struct{})}
+	s := &Store{
+		cfg:      cfg,
+		tree:     core.New(),
+		clock:    newShardedClock(cfg.Workers),
+		workerMu: make([]paddedMutex, cfg.Workers),
+		stop:     make(chan struct{}),
+	}
 	if cfg.Dir != "" {
 		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 			return nil, err
@@ -98,7 +125,7 @@ func Open(cfg Config) (*Store, error) {
 // file that may end in a torn record).
 func (s *Store) recover() error {
 	maxVersion := uint64(0)
-	_, err := checkpoint.LoadLatest(s.cfg.Dir, func(e checkpoint.Entry) {
+	ckptTS, err := checkpoint.LoadLatest(s.cfg.Dir, func(e checkpoint.Entry) {
 		s.tree.Put(e.Key, e.Value)
 		if e.Value.Version() > maxVersion {
 			maxVersion = e.Value.Version()
@@ -126,11 +153,21 @@ func (s *Store) recover() error {
 			}
 		}
 	})
+	// Seed the clocks past everything the previous incarnation could have
+	// issued: replayed log timestamps, checkpointed value versions, and the
+	// checkpoint's own start timestamp. The last matters when removes (whose
+	// timestamps live in no value) lifted the clock before a checkpoint
+	// reclaimed the logs that recorded them — without it, a later checkpoint
+	// could carry a lower start timestamp than a surviving older one and
+	// LoadLatest would restore the stale state.
 	clock := res.MaxTS
 	if maxVersion > clock {
 		clock = maxVersion
 	}
-	s.clock.Store(clock)
+	if ckptTS > clock {
+		clock = ckptTS
+	}
+	s.clock.seed(clock)
 	logs, err := wal.OpenSet(s.cfg.Dir, s.cfg.Workers, res.MaxGen+1, s.cfg.SyncWrites, s.cfg.FlushInterval)
 	if err != nil {
 		return err
@@ -143,6 +180,7 @@ func (s *Store) maintainLoop() {
 	defer s.wg.Done()
 	t := time.NewTicker(s.cfg.MaintainEvery)
 	defer t.Stop()
+	lastMark := uint64(0)
 	for {
 		select {
 		case <-t.C:
@@ -154,6 +192,33 @@ func (s *Store) maintainLoop() {
 				s.mgr.Retire(func() { s.tree.Maintain() })
 			}
 			s.mgr.Advance()
+			// Loose clock synchronization (§5.1): lift lagging worker
+			// clocks to the global maximum, and write that maximum as a
+			// timestamp mark to each log. The marks are what keep the
+			// recovery cutoff fresh — an idle worker's log otherwise
+			// retains a stale maximum durable timestamp and t = min over
+			// logs would discard every busier log's tail.
+			//
+			// Soundness: shards are lifted to m first, so any operation
+			// drawing a version after this point exceeds m; and a log is
+			// only marked while its worker's draw-to-append mutex is free
+			// (TryLock), so the mark never claims durability for a drawn-
+			// but-unappended record. Unchanged m means no new writes:
+			// skip, so idle stores do not grow their logs.
+			if m := s.clock.synchronize(); s.logs != nil && m > lastMark {
+				all := true
+				for w := 0; w < s.logs.Workers(); w++ {
+					if mu := &s.workerMu[w]; mu.TryLock() {
+						s.logs.Writer(w).AppendMark(m)
+						mu.Unlock()
+					} else {
+						all = false // busy worker: retry next tick
+					}
+				}
+				if all {
+					lastMark = m
+				}
+			}
 		case <-s.stop:
 			return
 		}
@@ -194,12 +259,14 @@ func (s *Store) GetInto(key []byte, cols []int, dst [][]byte) ([][]byte, bool) {
 // GetValue returns the whole value object.
 func (s *Store) GetValue(key []byte) (*value.Value, bool) { return s.tree.Get(key) }
 
-// BatchScratch holds reusable state for GetBatchInto: the result slices and
-// the core tree's batch-ordering scratch. One scratch per worker or
-// connection makes steady-state batched reads allocation-free.
+// BatchScratch holds reusable state for GetBatchInto and PutBatchInto: the
+// result slices and the core tree's batch-ordering scratch. One scratch per
+// worker or connection makes steady-state batched reads and writes
+// allocation-free (beyond the packed values a put must build).
 type BatchScratch struct {
 	vals  []*value.Value
 	found []bool
+	vers  []uint64
 	core  core.BatchScratch
 }
 
@@ -242,10 +309,13 @@ func (s *Store) GetBatchInto(keys [][]byte, sc *BatchScratch) ([]*value.Value, [
 
 // AppendCols appends the requested columns of v (nil = all) to dst and
 // returns the extended slice. The appended slices alias v's immutable
-// columns and must not be mutated.
+// packed allocation and must not be mutated.
 func AppendCols(dst [][]byte, v *value.Value, cols []int) [][]byte {
 	if cols == nil {
-		return append(dst, v.Cols()...)
+		for i, n := 0, v.NumCols(); i < n; i++ {
+			dst = append(dst, v.Col(i))
+		}
+		return dst
 	}
 	for _, c := range cols {
 		dst = append(dst, v.Col(c))
@@ -260,18 +330,47 @@ func pickCols(v *value.Value, cols []int) [][]byte {
 	return AppendCols(make([][]byte, 0, len(cols)), v, cols)
 }
 
+// nextVersion draws key's next version from worker's clock. It runs under
+// the owning border node's lock: updates lift the clock past the replaced
+// value's version, inserts past every remove (see shardedClock).
+func (s *Store) nextVersion(worker int, old *value.Value) uint64 {
+	if old == nil {
+		return s.clock.tick(worker, s.clock.removeFloor.Load())
+	}
+	return s.clock.tick(worker, old.Version())
+}
+
 // Put applies the column modifications to key atomically, logging through
-// the given worker's log, and returns the new value's version.
+// the given worker's log, and returns the new value's version. Neither puts
+// nor the Data slices are retained: both are copied into the packed value
+// and the log buffer.
 func (s *Store) Put(worker int, key []byte, puts []value.ColPut) uint64 {
+	if s.logs != nil {
+		mu := s.lockWorker(worker)
+		defer mu.Unlock()
+	}
 	var ver uint64
 	s.tree.Update(key, func(old *value.Value) *value.Value {
-		ver = s.clock.Add(1)
-		return value.ApplyAt(old, puts, ver)
+		ver = s.nextVersion(worker, old)
+		return value.BuildAt(old, puts, ver, uint32(worker))
 	})
 	if s.logs != nil {
-		s.logs.Writer(worker).Append(&wal.Record{TS: ver, Op: wal.OpPut, Key: key, Puts: puts})
+		s.logs.Writer(worker).AppendPut(ver, key, puts)
 	}
 	return ver
+}
+
+// lockWorker serializes worker's draw-to-append window; see workerMu.
+func (s *Store) lockWorker(worker int) *paddedMutex {
+	mu := &s.workerMu[worker%len(s.workerMu)]
+	mu.Lock()
+	return mu
+}
+
+// paddedMutex keeps per-worker mutexes off each other's cache lines.
+type paddedMutex struct {
+	sync.Mutex
+	_ [56]byte
 }
 
 // PutSimple stores data as column 0 of key.
@@ -279,14 +378,63 @@ func (s *Store) PutSimple(worker int, key, data []byte) uint64 {
 	return s.Put(worker, key, []value.ColPut{{Col: 0, Data: data}})
 }
 
+// PutBatchInto applies one put per key in a single batched tree pass
+// (§4.8's batching applied to writes): keys are processed in tree order,
+// runs of keys owned by the same border node execute under one lock
+// acquisition, and all log records are encoded under one log-buffer lock.
+// puts[i] lists key i's column modifications; the returned versions (one
+// per key, input order) live in sc and are valid until the next batched
+// call with the same scratch. Duplicate keys apply in input order.
+func (s *Store) PutBatchInto(worker int, keys [][]byte, puts [][]value.ColPut, sc *BatchScratch) []uint64 {
+	if s.logs != nil {
+		mu := s.lockWorker(worker)
+		defer mu.Unlock()
+	}
+	n := len(keys)
+	if cap(sc.vers) < n {
+		sc.vers = make([]uint64, n)
+	}
+	sc.vers = sc.vers[:n]
+	s.tree.PutBatchInto(keys, &sc.core, func(i int, old *value.Value) *value.Value {
+		ver := s.nextVersion(worker, old)
+		sc.vers[i] = ver
+		return value.BuildAt(old, puts[i], ver, uint32(worker))
+	})
+	if s.logs != nil {
+		s.logs.Writer(worker).AppendPutBatch(keys, puts, sc.vers)
+	}
+	return sc.vers
+}
+
+// PutBatch is PutBatchInto with an internal scratch, returning a fresh
+// versions slice.
+func (s *Store) PutBatch(worker int, keys [][]byte, puts [][]value.ColPut) []uint64 {
+	var sc BatchScratch
+	vers := s.PutBatchInto(worker, keys, puts, &sc)
+	out := make([]uint64, len(vers))
+	copy(out, vers)
+	return out
+}
+
 // Remove deletes key, logging through the given worker's log.
 func (s *Store) Remove(worker int, key []byte) bool {
+	if s.logs != nil {
+		mu := s.lockWorker(worker)
+		defer mu.Unlock()
+	}
 	var ver uint64
-	_, ok := s.tree.RemoveWith(key, func(*value.Value) {
-		ver = s.clock.Add(1)
+	_, ok := s.tree.RemoveWith(key, func(old *value.Value) {
+		ver = s.clock.tick(worker, old.Version())
+		// Lift the remove floor while the border lock is still held: the
+		// tree forgets the key's version history once it is unlinked, so a
+		// re-insert racing with this remove must already see the floor when
+		// it acquires the lock — lifting it after RemoveWith returns would
+		// let that insert draw a version below the remove's timestamp and
+		// replay in the wrong order.
+		s.clock.noteRemove(ver)
 	})
 	if ok && s.logs != nil {
-		s.logs.Writer(worker).Append(&wal.Record{TS: ver, Op: wal.OpRemove, Key: key})
+		s.logs.Writer(worker).AppendRemove(ver, key)
 	}
 	return ok
 }
@@ -306,6 +454,66 @@ func (s *Store) GetRange(start []byte, n int, cols []int) []Pair {
 	return out
 }
 
+// RangeScratch holds reusable arenas for GetRangeInto: the pair slice, a
+// column-slice arena, a key-byte arena, and the tree scan's key assembly
+// buffer. One scratch per connection makes steady-state range queries
+// allocation-free (arena growth aside).
+type RangeScratch struct {
+	pairs []Pair
+	cols  [][]byte
+	keys  []byte
+	kbuf  []byte
+}
+
+// Reset forgets accumulated pairs (typically once per request batch). The
+// backing arrays are retained for reuse.
+func (sc *RangeScratch) Reset() {
+	sc.pairs = sc.pairs[:0]
+	sc.cols = sc.cols[:0]
+	sc.keys = sc.keys[:0]
+}
+
+// Shrink releases arenas grown past roughly max bytes so one huge range
+// query does not pin scratch for a connection's lifetime.
+func (sc *RangeScratch) Shrink(max int) {
+	if cap(sc.pairs)*48 > max { // ~sizeof(Pair)
+		sc.pairs = nil
+	}
+	if cap(sc.cols)*24 > max {
+		sc.cols = nil
+	}
+	if cap(sc.keys) > max {
+		sc.keys = nil
+	}
+	if cap(sc.kbuf) > max {
+		sc.kbuf = nil
+	}
+}
+
+// GetRangeInto is GetRange appending into sc's reusable arenas instead of
+// allocating per request: keys are copied into a byte arena, columns into
+// the column arena, pairs into the pair slice. The returned window aliases
+// sc and stays valid until sc.Reset (appends never rewrite established
+// backing memory, so earlier windows survive arena growth).
+func (s *Store) GetRangeInto(start []byte, n int, cols []int, sc *RangeScratch) []Pair {
+	if n <= 0 {
+		return nil
+	}
+	base := len(sc.pairs)
+	sc.kbuf = s.tree.ScanInto(start, sc.kbuf, func(k []byte, v *value.Value) bool {
+		ks := len(sc.keys)
+		sc.keys = append(sc.keys, k...)
+		cs := len(sc.cols)
+		sc.cols = AppendCols(sc.cols, v, cols)
+		sc.pairs = append(sc.pairs, Pair{
+			Key:  sc.keys[ks:len(sc.keys):len(sc.keys)],
+			Cols: sc.cols[cs:len(sc.cols):len(sc.cols)],
+		})
+		return len(sc.pairs)-base < n
+	})
+	return sc.pairs[base:len(sc.pairs):len(sc.pairs)]
+}
+
 // Checkpoint writes a checkpoint of all keys and values, then reclaims log
 // space and older checkpoints (§5). It runs in parallel with request
 // processing.
@@ -320,7 +528,7 @@ func (s *Store) Checkpoint() (path string, n int, err error) {
 	if err != nil {
 		return "", 0, err
 	}
-	startTS := s.clock.Load()
+	startTS := s.clock.max()
 
 	// Stream the tree through a channel so the scan goroutine and the file
 	// writer overlap; values are immutable so the dump is a consistent
@@ -365,6 +573,17 @@ func (s *Store) Flush() error {
 	return s.logs.Flush()
 }
 
+// FlushStats reports accumulated log flush failures: the total count across
+// all workers' logs (including background group commits, whose errors have
+// no caller to return to) and the most recent error. A non-zero count means
+// acknowledged puts may not be durable even though the store kept serving.
+func (s *Store) FlushStats() (errs int64, last error) {
+	if s.logs == nil {
+		return 0, nil
+	}
+	return s.logs.FlushStats()
+}
+
 // Close stops background work and flushes and closes the logs. A clean
 // shutdown writes a timestamp mark to every log so recovery's cutoff does
 // not discard the durable tail of busier logs (see wal.OpMark).
@@ -373,7 +592,7 @@ func (s *Store) Close() error {
 	s.wg.Wait()
 	s.tree.Maintain()
 	if s.logs != nil {
-		s.logs.Mark(s.clock.Load())
+		s.logs.Mark(s.clock.max())
 		return s.logs.Close()
 	}
 	return nil

@@ -5,16 +5,19 @@
 // equally effective at avoiding network overhead"; batching many queries per
 // message amortizes network and syscall costs.
 //
-// Execution is batch-aware: a run of consecutive OpGet requests within one
-// message is served through Session.GetBatch, which descends the tree in
-// key order so consecutive lookups share the upper tree levels' cache lines
-// (§4.8's PALM-style batching). The rest of the request path is built for
-// steady-state zero allocation: each connection owns a connScratch whose
-// wire decode buffers, response slice, column arena, and ColPut scratch are
-// retained across messages, and decoded requests alias the frame body
-// rather than copying it. Only put data is copied out of the frame (values
-// retain their column bytes forever) — everything else on the read path is
-// reused.
+// Execution is batch-aware in both directions: a run of consecutive OpGet
+// requests within one message is served through Session.GetBatchInto, and a
+// run of consecutive OpPut requests through Session.PutBatchInto — both
+// descend the tree in key order so consecutive operations share the upper
+// tree levels' cache lines (§4.8's PALM-style batching), and the put run
+// additionally shares border-node lock acquisitions and log-buffer locks.
+// The request path is built for steady-state zero allocation: each
+// connection owns a connScratch whose wire decode buffers, response slice,
+// column/pair/range arenas, and ColPut scratch are retained across
+// messages, and decoded requests alias the frame body rather than copying
+// it. Put data is not copied either — the store copies it into the packed
+// value and the log buffer — so a put's only steady-state allocation is the
+// value itself.
 //
 // Each connection is bound to a worker id (round-robin), which selects the
 // log its puts append to — the paper's per-core logs mapped onto Go's
@@ -42,8 +45,11 @@ type Server struct {
 	workers    int
 
 	// batchedGets counts OpGet requests served through the batched
-	// Session.GetBatch path (exported as the "batched_gets" stat).
+	// Session.GetBatch path (exported as the "batched_gets" stat);
+	// batchedPuts is its write-side twin for Session.PutBatchInto
+	// ("batched_puts").
 	batchedGets atomic.Int64
+	batchedPuts atomic.Int64
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -103,20 +109,23 @@ func (s *Server) acceptLoop() {
 
 // connScratch is one connection's reusable execution state. Every buffer is
 // retained across messages, so a connection in steady state allocates only
-// for put data (which the store retains) and responses that outgrow every
+// the packed values its puts publish and responses that outgrow every
 // previous message.
 type connScratch struct {
-	dec   wire.DecodeBuf  // request decode buffers; requests alias the frame
-	enc   []byte          // response encode buffer
-	resps []wire.Response // response slice, one per request
-	cols  [][]byte        // arena backing Response.Cols for this message
-	keys  [][]byte        // key slice handed to Session.GetBatchInto
-	puts  []value.ColPut  // OpPut conversion scratch
-	pairs []wire.Pair     // arena backing Response.Pairs for this message
+	dec     wire.DecodeBuf       // request decode buffers; requests alias the frame
+	enc     []byte               // response encode buffer
+	resps   []wire.Response      // response slice, one per request
+	cols    [][]byte             // arena backing Response.Cols for this message
+	keys    [][]byte             // key slice handed to batched session calls
+	puts    []value.ColPut       // flat OpPut conversion arena
+	putRuns [][]value.ColPut     // per-request windows into puts for PutBatchInto
+	pairs   []wire.Pair          // arena backing Response.Pairs for this message
+	rng     kvstore.RangeScratch // arenas behind Session.GetRangeInto
 }
 
-// minBatchRun is the shortest run of consecutive OpGets routed through the
-// batched path; a single get gains nothing from batch ordering.
+// minBatchRun is the shortest run of consecutive same-op requests routed
+// through a batched path; a single get or put gains nothing from batch
+// ordering.
 const minBatchRun = 2
 
 // maxRetainedScratch bounds how much scratch one connection keeps between
@@ -139,9 +148,16 @@ func (sc *connScratch) shrink() {
 	if cap(sc.keys)*24 > maxRetainedScratch {
 		sc.keys = nil
 	}
+	if cap(sc.puts)*32 > maxRetainedScratch { // ~sizeof(value.ColPut)
+		sc.puts = nil
+	}
+	if cap(sc.putRuns)*24 > maxRetainedScratch {
+		sc.putRuns = nil
+	}
 	if cap(sc.pairs)*48 > maxRetainedScratch {
 		sc.pairs = nil
 	}
+	sc.rng.Shrink(maxRetainedScratch)
 }
 
 func (s *Server) serveConn(conn net.Conn, worker int) {
@@ -173,8 +189,9 @@ func (s *Server) serveConn(conn net.Conn, worker int) {
 }
 
 // executeBatch fills sc.resps with one response per request. Runs of
-// consecutive OpGets of length >= minBatchRun are served through the
-// session's batched lookup; everything else executes one at a time.
+// consecutive OpGets (or OpPuts) of length >= minBatchRun are served
+// through the session's batched lookup (or batched put); everything else
+// executes one at a time.
 func (s *Server) executeBatch(sess *kvstore.Session, reqs []wire.Request, sc *connScratch) {
 	if cap(sc.resps) < len(reqs) {
 		sc.resps = make([]wire.Response, len(reqs))
@@ -182,14 +199,19 @@ func (s *Server) executeBatch(sess *kvstore.Session, reqs []wire.Request, sc *co
 	sc.resps = sc.resps[:len(reqs)]
 	sc.cols = sc.cols[:0]
 	sc.pairs = sc.pairs[:0]
+	sc.rng.Reset()
 	for i := 0; i < len(reqs); {
-		if reqs[i].Op == wire.OpGet {
+		if op := reqs[i].Op; op == wire.OpGet || op == wire.OpPut {
 			j := i + 1
-			for j < len(reqs) && reqs[j].Op == wire.OpGet {
+			for j < len(reqs) && reqs[j].Op == op {
 				j++
 			}
 			if j-i >= minBatchRun {
-				s.executeGetRun(sess, reqs[i:j], sc.resps[i:j], sc)
+				if op == wire.OpGet {
+					s.executeGetRun(sess, reqs[i:j], sc.resps[i:j], sc)
+				} else {
+					s.executePutRun(sess, reqs[i:j], sc.resps[i:j], sc)
+				}
 				i = j
 				continue
 			}
@@ -219,6 +241,33 @@ func (s *Server) executeGetRun(sess *kvstore.Session, reqs []wire.Request, resps
 	}
 }
 
+// executePutRun serves a run of OpPut requests through Session.PutBatchInto
+// (§4.8 applied to writes): keys descend in tree order, co-located keys
+// share one border-node lock acquisition, and all log records are encoded
+// under one log-buffer lock. The decoded put data still aliases the frame —
+// the store copies it into the packed value and the log, so no per-put copy
+// is made here.
+func (s *Server) executePutRun(sess *kvstore.Session, reqs []wire.Request, resps []wire.Response, sc *connScratch) {
+	sc.keys = sc.keys[:0]
+	sc.puts = sc.puts[:0]
+	sc.putRuns = sc.putRuns[:0]
+	for i := range reqs {
+		sc.keys = append(sc.keys, reqs[i].Key)
+		start := len(sc.puts)
+		for _, p := range reqs[i].Puts {
+			sc.puts = append(sc.puts, value.ColPut{Col: p.Col, Data: p.Data})
+		}
+		// The window stays valid even if sc.puts later reallocates: it
+		// aliases the already-written backing array.
+		sc.putRuns = append(sc.putRuns, sc.puts[start:len(sc.puts):len(sc.puts)])
+	}
+	vers := sess.PutBatchInto(sc.keys, sc.putRuns)
+	s.batchedPuts.Add(int64(len(reqs)))
+	for i := range reqs {
+		resps[i] = wire.Response{Status: wire.StatusOK, Version: vers[i]}
+	}
+}
+
 // execute serves one request. Responses may alias sc's arenas and the
 // request's frame buffer; they are valid until the next message.
 func (s *Server) execute(sess *kvstore.Session, r *wire.Request, sc *connScratch) wire.Response {
@@ -232,12 +281,12 @@ func (s *Server) execute(sess *kvstore.Session, r *wire.Request, sc *connScratch
 		}
 		return wire.Response{Status: wire.StatusOK, Cols: sc.cols[start:len(sc.cols):len(sc.cols)]}
 	case wire.OpPut:
-		// Reuse the ColPut slice but copy the data: decoded put data
-		// aliases the connection's frame buffer, while the store retains
-		// column bytes in the immutable value.
+		// The decoded put data aliases the connection's frame buffer; that
+		// is safe because the store copies it into the packed value and the
+		// log buffer before returning.
 		sc.puts = sc.puts[:0]
 		for _, p := range r.Puts {
-			sc.puts = append(sc.puts, value.ColPut{Col: p.Col, Data: append([]byte(nil), p.Data...)})
+			sc.puts = append(sc.puts, value.ColPut{Col: p.Col, Data: p.Data})
 		}
 		ver := sess.Put(r.Key, sc.puts)
 		return wire.Response{Status: wire.StatusOK, Version: ver}
@@ -247,7 +296,10 @@ func (s *Server) execute(sess *kvstore.Session, r *wire.Request, sc *connScratch
 		}
 		return wire.Response{Status: wire.StatusNotFound}
 	case wire.OpGetRange:
-		pairs := sess.GetRange(r.Key, r.N, r.Cols)
+		// Range results are appended into the connection's range arenas
+		// (keys, columns, pairs all reused across messages); the wire pairs
+		// alias them until the response is encoded.
+		pairs := sess.GetRangeInto(r.Key, r.N, r.Cols, &sc.rng)
 		start := len(sc.pairs)
 		for _, p := range pairs {
 			sc.pairs = append(sc.pairs, wire.Pair{Key: p.Key, Cols: p.Cols})
@@ -260,10 +312,13 @@ func (s *Server) execute(sess *kvstore.Session, r *wire.Request, sc *connScratch
 	}
 }
 
-// statsResponse reports store size and tree operation counters as metric
-// name/value pairs.
+// statsResponse reports store size, tree operation counters, batching
+// counters, and logging health as metric name/value pairs. flush_errors is
+// the count of failed log flushes (background group commits included); a
+// non-zero value means acknowledged puts may not be durable.
 func (s *Server) statsResponse() wire.Response {
 	st := s.store.Stats()
+	flushErrs, _ := s.store.FlushStats()
 	metric := func(name string, v int64) wire.Pair {
 		return wire.Pair{Key: []byte(name), Cols: [][]byte{[]byte(strconv.FormatInt(v, 10))}}
 	}
@@ -277,6 +332,8 @@ func (s *Server) statsResponse() wire.Response {
 		metric("local_retries", st.LocalRetries),
 		metric("slot_reuses", st.SlotReuses),
 		metric("batched_gets", s.batchedGets.Load()),
+		metric("batched_puts", s.batchedPuts.Load()),
+		metric("flush_errors", flushErrs),
 	}}
 }
 

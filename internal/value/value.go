@@ -2,42 +2,110 @@
 //
 // A Value is a version number plus an array of variable-length byte strings
 // called columns. Values are immutable once published: a put that modifies a
-// subset of columns builds a fresh Value, copying unmodified columns from the
-// old object, and swings a single pointer. Concurrent readers therefore see
-// either all or none of a multi-column put.
+// subset of columns builds a fresh Value, copying the surviving columns into
+// a new object, and swings a single pointer. Concurrent readers therefore
+// see either all or none of a multi-column put.
+//
+// Values are packed: the version, the worker tag, the column offset table,
+// and every column's bytes live in one contiguous allocation. This is the
+// paper's cache craftiness applied to the write path — a steady-state put
+// costs exactly one allocation sized from the request, reading a value walks
+// one cache-resident buffer instead of chasing per-column pointers, and the
+// garbage collector sees one pointer-free object per value instead of a
+// Value header, a column array, and N column slices.
 //
 // Sequential updates to a value obtain distinct, increasing version numbers;
 // the version is written to the log and used during recovery to apply a
-// value's updates in order (§5).
+// value's updates in order (§5). The worker tag records which worker's
+// (loosely synchronized, §5.1) clock issued the version, for log-merge
+// diagnostics.
 package value
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+	"unsafe"
+)
 
-// Value is an immutable multi-column value. The zero Value has no columns.
+// Packed layout, little endian. A *Value points at the first byte of one
+// []byte allocation:
+//
+//	 0  version u64
+//	 8  size    u32  total bytes of the allocation
+//	12  ncols   u32
+//	16  worker  u32  worker whose clock issued the version
+//	20  end[ncols] u32  cumulative column end offsets into the data section
+//	20+4*ncols  column data, concatenated
+const (
+	offVersion = 0
+	offSize    = 8
+	offNCols   = 12
+	offWorker  = 16
+	hdrSize    = 20
+)
+
+// Value is an immutable multi-column value. It is an opaque header over a
+// packed allocation; never embed or copy a Value, only pass *Value.
 //
 // Values must not be mutated after they are published to a shared data
-// structure; all update paths go through Apply, which copies.
+// structure; all update paths go through Build/Apply, which copy.
 type Value struct {
-	version uint64
-	cols    [][]byte
+	hdr [hdrSize]byte
 }
 
-// ColPut describes a modification of one column.
+// ColPut describes a modification of one column. Neither the ColPut slice
+// nor the Data bytes are retained by Build/Apply: both are copied into the
+// new value's packed allocation.
 type ColPut struct {
 	Col  int    // column index, >= 0
-	Data []byte // new column contents (retained; caller must not mutate)
+	Data []byte // new column contents
 }
 
-// New returns a fresh Value with version 1 holding the given columns.
-// The column slices are retained, not copied.
+// buf reconstructs the value's whole packed allocation. Safe because every
+// *Value points at the first byte of an allocation of exactly the recorded
+// size, and the allocation holds no pointers.
+func (v *Value) buf() []byte {
+	size := binary.LittleEndian.Uint32(v.hdr[offSize:])
+	return unsafe.Slice((*byte)(unsafe.Pointer(v)), size)
+}
+
+// finish seals a filled packed buffer as a *Value.
+func finish(b []byte) *Value {
+	return (*Value)(unsafe.Pointer(&b[0]))
+}
+
+// colEnd returns the cumulative data end offset of column i (i == -1 is 0).
+func colEnd(b []byte, i int) int {
+	if i < 0 {
+		return 0
+	}
+	return int(binary.LittleEndian.Uint32(b[hdrSize+4*i:]))
+}
+
+// New returns a fresh Value with version 1 holding copies of the given
+// columns.
 func New(cols ...[]byte) *Value {
-	return &Value{version: 1, cols: cols}
+	return NewAt(1, cols...)
 }
 
 // NewAt is New with an explicit version, used by log replay and checkpoint
 // loading to reconstruct the exact pre-crash version numbers.
 func NewAt(version uint64, cols ...[]byte) *Value {
-	return &Value{version: version, cols: cols}
+	total := hdrSize + 4*len(cols)
+	for _, c := range cols {
+		total += len(c)
+	}
+	b := make([]byte, total)
+	binary.LittleEndian.PutUint64(b[offVersion:], version)
+	binary.LittleEndian.PutUint32(b[offSize:], uint32(total))
+	binary.LittleEndian.PutUint32(b[offNCols:], uint32(len(cols)))
+	off := 0
+	data := b[hdrSize+4*len(cols):]
+	for i, c := range cols {
+		off += copy(data[off:], c)
+		binary.LittleEndian.PutUint32(b[hdrSize+4*i:], uint32(off))
+	}
+	return finish(b)
 }
 
 // Version returns the value's update version number.
@@ -45,7 +113,16 @@ func (v *Value) Version() uint64 {
 	if v == nil {
 		return 0
 	}
-	return v.version
+	return binary.LittleEndian.Uint64(v.hdr[offVersion:])
+}
+
+// Worker returns the id of the worker whose clock issued the version (0 for
+// values built outside a worker context).
+func (v *Value) Worker() uint32 {
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(v.hdr[offWorker:])
 }
 
 // NumCols returns the number of columns.
@@ -53,37 +130,65 @@ func (v *Value) NumCols() int {
 	if v == nil {
 		return 0
 	}
-	return len(v.cols)
+	return int(binary.LittleEndian.Uint32(v.hdr[offNCols:]))
 }
 
-// Col returns column i, or nil if the column does not exist.
-// The returned slice must not be mutated.
+// Col returns column i, or nil if the column does not exist or is empty.
+// The returned slice aliases the value's packed allocation and must not be
+// mutated.
 func (v *Value) Col(i int) []byte {
-	if v == nil || i < 0 || i >= len(v.cols) {
+	if v == nil || i < 0 || i >= v.NumCols() {
 		return nil
 	}
-	return v.cols[i]
+	b := v.buf()
+	dataOff := hdrSize + 4*v.NumCols()
+	start, end := colEnd(b, i-1), colEnd(b, i)
+	if start == end {
+		return nil
+	}
+	return b[dataOff+start : dataOff+end : dataOff+end]
 }
 
-// Cols returns all columns. The returned slice and its elements must not be
-// mutated.
+// Cols materializes all columns as a fresh slice of subslices of the packed
+// allocation. It allocates; alloc-sensitive callers should iterate
+// NumCols/Col instead. The column contents must not be mutated.
 func (v *Value) Cols() [][]byte {
 	if v == nil {
 		return nil
 	}
-	return v.cols
+	out := make([][]byte, v.NumCols())
+	for i := range out {
+		out[i] = v.Col(i)
+	}
+	return out
 }
 
 // Bytes returns column 0; it is the natural accessor for single-column
 // values, which is how simple get/put workloads use the store.
 func (v *Value) Bytes() []byte { return v.Col(0) }
 
-// Apply returns a new Value with the given column modifications applied and
-// the version advanced past old's. old may be nil (pure insert). Unmodified
-// columns are shared structurally with old, which is safe because values are
-// immutable. Column indexes beyond the current width grow the column array;
-// intervening columns are empty.
-func Apply(old *Value, puts []ColPut) *Value {
+// colData returns the bytes column i will hold after applying puts to old:
+// the last put to i wins, else old's column survives.
+func colData(old *Value, puts []ColPut, i int) []byte {
+	for j := len(puts) - 1; j >= 0; j-- {
+		if puts[j].Col == i {
+			return puts[j].Data
+		}
+	}
+	return old.Col(i)
+}
+
+// BuildAt builds the packed value holding old's columns with the given
+// column modifications applied, at an explicit version with a worker tag.
+// old may be nil (pure insert). Everything — surviving columns and put data
+// alike — is copied into one allocation sized from the inputs, so neither
+// old nor the puts are retained. Column indexes beyond the current width
+// grow the column array; intervening columns are empty.
+//
+// This is the write path's only allocation (§4.7): the kvstore calls it
+// under the owning border node's lock with a version from the worker's
+// clock.
+func BuildAt(old *Value, puts []ColPut, version uint64, worker uint32) *Value {
 	width := old.NumCols()
 	for _, p := range puts {
 		if p.Col < 0 {
@@ -93,23 +198,38 @@ func Apply(old *Value, puts []ColPut) *Value {
 			width = p.Col + 1
 		}
 	}
-	cols := make([][]byte, width)
-	copy(cols, old.Cols())
-	for _, p := range puts {
-		cols[p.Col] = p.Data
+	total := hdrSize + 4*width
+	for i := 0; i < width; i++ {
+		total += len(colData(old, puts, i))
 	}
-	return &Value{version: old.Version() + 1, cols: cols}
+	b := make([]byte, total)
+	binary.LittleEndian.PutUint64(b[offVersion:], version)
+	binary.LittleEndian.PutUint32(b[offSize:], uint32(total))
+	binary.LittleEndian.PutUint32(b[offNCols:], uint32(width))
+	binary.LittleEndian.PutUint32(b[offWorker:], worker)
+	off := 0
+	data := b[hdrSize+4*width:]
+	for i := 0; i < width; i++ {
+		off += copy(data[off:], colData(old, puts, i))
+		binary.LittleEndian.PutUint32(b[hdrSize+4*i:], uint32(off))
+	}
+	return finish(b)
+}
+
+// Apply returns a new Value with the given column modifications applied and
+// the version advanced past old's. old may be nil (pure insert). It is
+// BuildAt without an explicit version or worker tag.
+func Apply(old *Value, puts []ColPut) *Value {
+	return BuildAt(old, puts, old.Version()+1, 0)
 }
 
 // ApplyAt is Apply with an explicit new version, used by log replay.
 func ApplyAt(old *Value, puts []ColPut, version uint64) *Value {
-	nv := Apply(old, puts)
-	nv.version = version
-	return nv
+	return BuildAt(old, puts, version, 0)
 }
 
 // Equal reports whether two values have identical columns (versions are not
-// compared). Used by tests.
+// compared; empty and missing columns are identical). Used by tests.
 func Equal(a, b *Value) bool {
 	if a.NumCols() != b.NumCols() {
 		return false
@@ -127,5 +247,5 @@ func (v *Value) String() string {
 	if v == nil {
 		return "<nil>"
 	}
-	return fmt.Sprintf("v%d%q", v.version, v.cols)
+	return fmt.Sprintf("v%d%q", v.Version(), v.Cols())
 }

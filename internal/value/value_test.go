@@ -54,19 +54,63 @@ func TestApplyFromNil(t *testing.T) {
 }
 
 // TestApplyImmutable checks the COW law (§4.7): applying puts must not
-// change the old value, and unmodified columns must be shared.
+// change the old value, and the new value must not alias the old one or the
+// put data (everything is copied into the new packed allocation).
 func TestApplyImmutable(t *testing.T) {
 	old := New([]byte("a"), []byte("b"), []byte("c"))
-	nv := Apply(old, []ColPut{{Col: 1, Data: []byte("B")}})
+	putData := []byte("B")
+	nv := Apply(old, []ColPut{{Col: 1, Data: putData}})
 	if string(old.Col(1)) != "b" {
 		t.Fatal("old value mutated")
 	}
 	if string(nv.Col(1)) != "B" || string(nv.Col(0)) != "a" || string(nv.Col(2)) != "c" {
 		t.Fatalf("new value wrong: %v", nv)
 	}
-	// Structural sharing of unmodified columns.
-	if &old.Col(0)[0] != &nv.Col(0)[0] {
-		t.Fatal("unmodified column not shared")
+	// The packed value copies: mutating the caller's put data afterwards must
+	// not change the published value.
+	putData[0] = 'Z'
+	if string(nv.Col(1)) != "B" {
+		t.Fatal("put data retained instead of copied")
+	}
+	if &old.Col(0)[0] == &nv.Col(0)[0] {
+		t.Fatal("new value aliases old value's allocation")
+	}
+}
+
+// TestBuildSingleAllocation pins the packed representation's reason for
+// existing: building a value costs exactly one allocation regardless of
+// column count.
+func TestBuildSingleAllocation(t *testing.T) {
+	old := New([]byte("aaaa"), []byte("bbbb"), []byte("cccc"))
+	puts := []ColPut{{Col: 1, Data: []byte("BBBB")}}
+	allocs := testing.AllocsPerRun(200, func() {
+		if v := BuildAt(old, puts, 7, 3); v == nil {
+			t.Fatal("nil value")
+		}
+	})
+	if allocs != 1 {
+		t.Fatalf("BuildAt allocates %.1f times per run, want 1", allocs)
+	}
+}
+
+// TestBuildAtWorkerTag checks the worker tag round-trips and that a put to a
+// later column leaves earlier data intact in the packed layout.
+func TestBuildAtWorkerTag(t *testing.T) {
+	v := BuildAt(nil, []ColPut{{Col: 0, Data: []byte("x")}}, 42, 5)
+	if v.Version() != 42 || v.Worker() != 5 {
+		t.Fatalf("version/worker = %d/%d, want 42/5", v.Version(), v.Worker())
+	}
+	v2 := BuildAt(v, []ColPut{{Col: 2, Data: []byte("zz")}}, 43, 6)
+	if string(v2.Col(0)) != "x" || v2.Col(1) != nil || string(v2.Col(2)) != "zz" {
+		t.Fatalf("columns wrong: %v", v2)
+	}
+	if v2.Worker() != 6 {
+		t.Fatalf("worker = %d, want 6", v2.Worker())
+	}
+	// A duplicate column index in one put list: the last write wins.
+	v3 := Apply(nil, []ColPut{{Col: 0, Data: []byte("first")}, {Col: 0, Data: []byte("second")}})
+	if string(v3.Col(0)) != "second" {
+		t.Fatalf("Col(0) = %q, want last put to win", v3.Col(0))
 	}
 }
 

@@ -8,12 +8,17 @@
 // higher total throughput.
 //
 // Value version numbers and log record timestamps aid recovery. This
-// implementation draws both from one global monotonic counter assigned under
-// the owning border node's lock, so a value's log records are strictly
-// ordered even across remove/re-insert cycles and across workers. When
-// restoring, recovery computes the cutoff t = min over logs of that log's
-// last timestamp, drops records beyond t, and replays each key's surviving
-// updates in increasing version order.
+// implementation draws both from per-worker loosely synchronized clocks
+// (§5.1): a worker's clock lives on its own cache line, is assigned under
+// the owning border node's lock, and is lifted past the replaced value's
+// version (and, for inserts, past every prior remove's timestamp), so each
+// key's log records are strictly ordered by timestamp even across
+// remove/re-insert cycles and across workers. Timestamps in one log are not
+// globally ordered against other logs, and concurrent appenders sharing a
+// log may interleave slightly out of order, so recovery computes the cutoff
+// t = min over logs of that log's maximum durable timestamp, drops records
+// beyond t, and replays each key's surviving updates in increasing version
+// order.
 package wal
 
 import (
@@ -59,30 +64,35 @@ var (
 	ErrCorrupt = errors.New("wal: corrupt log")
 )
 
-// appendRecord serializes r onto buf. Layout (little endian):
+// appendRecord serializes a record onto buf in place — no intermediate
+// payload buffer, so a warmed log buffer makes appends allocation-free.
+// Layout (little endian):
 //
 //	crc32(payload) u32 | payloadLen u32 | payload
 //	payload: ts u64 | op u8 | keyLen u32 | key |
 //	         ncols u16 | { col u16 | dataLen u32 | data }*
 //
-// A torn tail write invalidates the crc, so recovery stops cleanly at the
-// last complete record (group commit may lose the unforced tail, which the
-// paper accepts — those puts were never durable).
-func appendRecord(buf []byte, r *Record) []byte {
-	payload := make([]byte, 0, 16+len(r.Key)+32)
-	payload = binary.LittleEndian.AppendUint64(payload, r.TS)
-	payload = append(payload, byte(r.Op))
-	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(r.Key)))
-	payload = append(payload, r.Key...)
-	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(r.Puts)))
-	for _, p := range r.Puts {
-		payload = binary.LittleEndian.AppendUint16(payload, uint16(p.Col))
-		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(p.Data)))
-		payload = append(payload, p.Data...)
+// The crc and length are backfilled after the payload is written. A torn
+// tail write invalidates the crc, so recovery stops cleanly at the last
+// complete record (group commit may lose the unforced tail, which the paper
+// accepts — those puts were never durable).
+func appendRecord(buf []byte, ts uint64, op Op, key []byte, puts []value.ColPut) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // crc + len, backfilled below
+	buf = binary.LittleEndian.AppendUint64(buf, ts)
+	buf = append(buf, byte(op))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(puts)))
+	for _, p := range puts {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(p.Col))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Data)))
+		buf = append(buf, p.Data...)
 	}
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
-	return append(buf, payload...)
+	payload := buf[start+8:]
+	binary.LittleEndian.PutUint32(buf[start:], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(buf[start+4:], uint32(len(payload)))
+	return buf
 }
 
 // parseRecord decodes one record from b, returning the record and the number

@@ -49,9 +49,12 @@ type RecoveryResult struct {
 	// Records holds all surviving records (timestamp <= Cutoff), grouped by
 	// nothing in particular; use Replay to apply them in order.
 	Records []Record
-	// Cutoff is t = min over logs of the log's last timestamp (§5). Records
-	// with larger timestamps were dropped: some worker may not have made
-	// them durable, so the highest consistent prefix ends at t.
+	// Cutoff is t = min over logs of the log's maximum durable timestamp
+	// (§5). Records with larger timestamps were dropped: some worker may not
+	// have made them durable, so the highest consistent prefix ends at t.
+	// The maximum (not the final record's timestamp) is used because
+	// sessions sharing a worker log may interleave appends slightly out of
+	// timestamp order, and per-worker clocks only order records per key.
 	Cutoff uint64
 	// MaxTS is the largest timestamp seen anywhere (before cutoff
 	// filtering); the store's clock must resume above it.
@@ -95,12 +98,17 @@ func RecoverDir(dir string) (*RecoveryResult, error) {
 		if len(recs) == 0 {
 			continue
 		}
-		last := recs[len(recs)-1].TS
-		if last > res.MaxTS {
-			res.MaxTS = last
+		logMax := uint64(0)
+		for _, r := range recs {
+			if r.TS > logMax {
+				logMax = r.TS
+			}
 		}
-		if last < res.Cutoff {
-			res.Cutoff = last
+		if logMax > res.MaxTS {
+			res.MaxTS = logMax
+		}
+		if logMax < res.Cutoff {
+			res.Cutoff = logMax
 		}
 		constrained = true
 	}

@@ -12,6 +12,11 @@ import (
 	"repro/internal/value"
 )
 
+// appendRec adapts a Record struct to the in-place encoder for tests.
+func appendRec(buf []byte, r *Record) []byte {
+	return appendRecord(buf, r.TS, r.Op, r.Key, r.Puts)
+}
+
 func TestRecordRoundTrip(t *testing.T) {
 	recs := []Record{
 		{TS: 1, Op: OpPut, Key: []byte("k"), Puts: []value.ColPut{{Col: 0, Data: []byte("v")}}},
@@ -21,7 +26,7 @@ func TestRecordRoundTrip(t *testing.T) {
 	}
 	var buf []byte
 	for i := range recs {
-		buf = appendRecord(buf, &recs[i])
+		buf = appendRec(buf, &recs[i])
 	}
 	for i := range recs {
 		r, n := parseRecord(buf)
@@ -49,7 +54,7 @@ func TestRecordRoundTrip(t *testing.T) {
 func TestRecordRoundTripQuick(t *testing.T) {
 	f := func(ts uint64, key []byte, col uint8, data []byte) bool {
 		r := Record{TS: ts, Op: OpPut, Key: key, Puts: []value.ColPut{{Col: int(col), Data: data}}}
-		buf := appendRecord(nil, &r)
+		buf := appendRec(nil, &r)
 		got, n := parseRecord(buf)
 		if n != len(buf) {
 			return false
@@ -67,8 +72,8 @@ func TestRecordRoundTripQuick(t *testing.T) {
 func TestTornRecordStopsParse(t *testing.T) {
 	r1 := Record{TS: 1, Op: OpPut, Key: []byte("a"), Puts: []value.ColPut{{Col: 0, Data: []byte("1")}}}
 	r2 := Record{TS: 2, Op: OpPut, Key: []byte("b"), Puts: []value.ColPut{{Col: 0, Data: []byte("2")}}}
-	buf := appendRecord(nil, &r1)
-	full := appendRecord(append([]byte(nil), buf...), &r2)
+	buf := appendRec(nil, &r1)
+	full := appendRec(append([]byte(nil), buf...), &r2)
 	for cut := len(buf) + 1; cut < len(full); cut++ {
 		log := append(append([]byte(nil), fileMagic...), full[:cut]...)
 		recs, err := parseLog(log)
@@ -227,5 +232,146 @@ func TestReplayOrderPerKey(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got["b"], []uint64{3, 4}) {
 		t.Fatalf("key b order: %v", got["b"])
+	}
+}
+
+// TestAppendPutBatchRoundTrip checks the single-lock batched append encodes
+// records identically to one-at-a-time appends.
+func TestAppendPutBatchRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	set, _ := OpenSet(dir, 1, 1, false, time.Hour)
+	keys := [][]byte{[]byte("ka"), []byte("kb"), []byte("kc")}
+	puts := [][]value.ColPut{
+		{{Col: 0, Data: []byte("va")}},
+		{{Col: 1, Data: []byte("vb")}, {Col: 0, Data: nil}},
+		{{Col: 0, Data: []byte("vc")}},
+	}
+	ts := []uint64{3, 1, 2}
+	set.Writer(0).AppendPutBatch(keys, puts, ts)
+	set.Close()
+	res, err := RecoverDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 3 {
+		t.Fatalf("got %d records, want 3", len(res.Records))
+	}
+	// Cutoff = max TS in the log (3), even though the final record is TS 2.
+	if res.Cutoff != 3 {
+		t.Fatalf("cutoff = %d, want per-log max 3", res.Cutoff)
+	}
+	for i, r := range res.Records {
+		if r.TS != ts[i] || string(r.Key) != string(keys[i]) || len(r.Puts) != len(puts[i]) {
+			t.Fatalf("record %d mismatch: %+v", i, r)
+		}
+	}
+}
+
+// TestFlushErrorRecorded proves a failed flush is not dropped on the floor:
+// the error count rises and the last error is retained for FlushStats.
+func TestFlushErrorRecorded(t *testing.T) {
+	dir := t.TempDir()
+	set, _ := OpenSet(dir, 1, 1, false, time.Hour)
+	w := set.Writer(0)
+	w.f.Close() // sabotage the file: the next flush's write must fail
+	w.AppendPut(1, []byte("k"), []value.ColPut{{Col: 0, Data: []byte("v")}})
+	if err := w.Flush(); err == nil {
+		t.Fatal("flush on a closed file should fail")
+	}
+	n, last := w.FlushStats()
+	if n != 1 || last == nil {
+		t.Fatalf("FlushStats = %d,%v want 1,non-nil", n, last)
+	}
+	sn, slast := set.FlushStats()
+	if sn != 1 || slast == nil {
+		t.Fatalf("Set.FlushStats = %d,%v", sn, slast)
+	}
+	w.f = nil // avoid double close noise
+	set.Close()
+}
+
+// TestAppendAllocFree pins the scratch-encoded append path at zero
+// steady-state allocations once the double buffers are warm.
+func TestAppendAllocFree(t *testing.T) {
+	dir := t.TempDir()
+	set, _ := OpenSet(dir, 1, 1, false, time.Hour)
+	defer set.Close()
+	w := set.Writer(0)
+	key := []byte("alloc-test-key")
+	puts := []value.ColPut{{Col: 0, Data: []byte("alloc-test-column-data")}}
+	// Warm both halves of the double buffer past the measured volume.
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 300; i++ {
+			w.AppendPut(uint64(i), key, puts)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		w.AppendPut(7, key, puts)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendPut allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestFlushFailureRetainsRecords proves a failed flush does not drop the
+// swapped-out batch: once the device recovers, the next flush writes the
+// retained records in their original order.
+func TestFlushFailureRetainsRecords(t *testing.T) {
+	dir := t.TempDir()
+	set, _ := OpenSet(dir, 1, 1, false, time.Hour)
+	w := set.Writer(0)
+	w.AppendPut(1, []byte("kept"), []value.ColPut{{Col: 0, Data: []byte("v1")}})
+	w.f.Close() // device "fails"
+	if err := w.Flush(); err == nil {
+		t.Fatal("flush on a closed file should fail")
+	}
+	w.AppendPut(2, []byte("later"), []value.ColPut{{Col: 0, Data: []byte("v2")}})
+	if err := w.openFile(); err != nil { // device "recovers"
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush after recovery: %v", err)
+	}
+	set.Close()
+	res, err := RecoverDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 2 || res.Records[0].TS != 1 || res.Records[1].TS != 2 {
+		t.Fatalf("records after failed-then-recovered flush: %+v", res.Records)
+	}
+}
+
+// TestAppendAllocFreeAcrossFlushes extends the steady-state pin across
+// group commits: the double buffers must keep their full capacity through
+// swap/write cycles, so append+flush rounds allocate nothing once warm.
+func TestAppendAllocFreeAcrossFlushes(t *testing.T) {
+	dir := t.TempDir()
+	set, _ := OpenSet(dir, 1, 1, false, time.Hour)
+	defer set.Close()
+	w := set.Writer(0)
+	key := []byte("alloc-flush-key")
+	puts := []value.ColPut{{Col: 0, Data: []byte("alloc-flush-column-data")}}
+	for round := 0; round < 2; round++ { // warm both buffer halves
+		for i := 0; i < 150; i++ {
+			w.AppendPut(uint64(i), key, puts)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		for i := 0; i < 100; i++ {
+			w.AppendPut(7, key, puts)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("append+flush cycle allocates %.1f times per run, want 0 (buffer capacity eroding?)", allocs)
 	}
 }

@@ -1,27 +1,52 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/value"
 )
 
 // Writer is one worker's log: an in-memory buffer plus a file, written out
-// by a background logging goroutine (§5). A put appends to the buffer and
-// returns; the flusher batches appends to exploit sequential device
-// bandwidth and forces the log to storage at least every FlushInterval.
+// by a background logging goroutine (§5). A put encodes its record directly
+// into the worker-owned append buffer and returns; the flusher swaps that
+// buffer with a second one (double-buffering) and writes it out without
+// blocking appenders, batching appends to exploit sequential device
+// bandwidth and forcing the log to storage at least every FlushInterval.
 type Writer struct {
 	dir    string
 	worker int
 	sync   bool
 
-	mu     sync.Mutex
-	buf    []byte
-	f      *os.File
-	gen    uint64
-	closed bool
+	// mu guards only the append buffer; appenders hold it just long enough
+	// to encode a record, never across a file write.
+	mu  sync.Mutex
+	buf []byte
+
+	// fmu serializes flushers and guards the flush-side state: the second
+	// buffer, the file, the generation, and the closed flag. A flush holds
+	// fmu across the (possibly slow) file write while appenders keep filling
+	// buf under mu. fbufOff marks how much of fbuf a partially-failed write
+	// already handed to the file; retrying resumes there so no byte is ever
+	// written twice, and a full success resets the offset so the buffer's
+	// capacity is preserved for the next swap.
+	fmu     sync.Mutex
+	fbuf    []byte
+	fbufOff int
+	f       *os.File
+	gen     uint64
+	closed  bool
+
+	// Flush failures must not vanish into the background goroutine: they are
+	// counted and the most recent one is kept for Store.FlushStats (a lost
+	// group commit is a durability failure even though puts keep succeeding).
+	flushErrs atomic.Int64
+	lastErr   atomic.Pointer[error]
 
 	flushCh chan struct{} // kicks the flusher
 	done    chan struct{}
@@ -30,6 +55,16 @@ type Writer struct {
 
 // DefaultFlushInterval is the paper's 200 ms group-commit bound.
 const DefaultFlushInterval = 200 * time.Millisecond
+
+// maxRetainedLogBuf bounds how much buffer space a log keeps across flushes:
+// one huge put grows the buffers transiently, but they are released after
+// the flush rather than pinned for the writer's lifetime (mirroring the
+// wire layer's scratch caps).
+const maxRetainedLogBuf = 1 << 20
+
+// kickThreshold is the buffered-bytes level past which an append wakes the
+// flusher early instead of waiting for the interval tick.
+const kickThreshold = 1 << 20
 
 // newWriter opens (creating or appending) the generation-gen log file for a
 // worker.
@@ -76,41 +111,144 @@ func (w *Writer) openFile() error {
 	return nil
 }
 
-// Append queues a record in the log buffer. It does not block on storage;
-// durability arrives with the next flush (group commit).
-func (w *Writer) Append(r *Record) {
-	w.mu.Lock()
-	w.buf = appendRecord(w.buf, r)
-	big := len(w.buf) >= 1<<20
-	w.mu.Unlock()
-	if big {
-		select {
-		case w.flushCh <- struct{}{}:
-		default:
-		}
+// kickIfBig wakes the flusher when the append buffer has grown large.
+func (w *Writer) kickIfBig(n int) {
+	if n < kickThreshold {
+		return
+	}
+	select {
+	case w.flushCh <- struct{}{}:
+	default:
 	}
 }
 
-// Flush writes the buffer to the file and, when sync is enabled, forces it
-// to storage.
-func (w *Writer) Flush() error {
+// AppendPut queues a put record, encoding it directly into the worker-owned
+// log buffer — no intermediate Record or payload allocation. It does not
+// block on storage; durability arrives with the next flush (group commit).
+func (w *Writer) AppendPut(ts uint64, key []byte, puts []value.ColPut) {
 	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.buf = appendRecord(w.buf, ts, OpPut, key, puts)
+	n := len(w.buf)
+	w.mu.Unlock()
+	w.kickIfBig(n)
+}
+
+// AppendPutBatch queues one put record per key under a single buffer-lock
+// acquisition — the logging counterpart of the tree's batched put. keys,
+// puts, and ts are parallel arrays; records are encoded in input order, so
+// a key's records keep their version order within this worker's log.
+func (w *Writer) AppendPutBatch(keys [][]byte, puts [][]value.ColPut, ts []uint64) {
+	w.mu.Lock()
+	for i := range keys {
+		w.buf = appendRecord(w.buf, ts[i], OpPut, keys[i], puts[i])
+	}
+	n := len(w.buf)
+	w.mu.Unlock()
+	w.kickIfBig(n)
+}
+
+// AppendRemove queues a remove record.
+func (w *Writer) AppendRemove(ts uint64, key []byte) {
+	w.mu.Lock()
+	w.buf = appendRecord(w.buf, ts, OpRemove, key, nil)
+	n := len(w.buf)
+	w.mu.Unlock()
+	w.kickIfBig(n)
+}
+
+// AppendMark queues a timestamp heartbeat (see OpMark). The caller asserts
+// every record this worker acknowledged with a timestamp <= ts has already
+// been appended.
+func (w *Writer) AppendMark(ts uint64) {
+	w.mu.Lock()
+	w.buf = appendRecord(w.buf, ts, OpMark, nil, nil)
+	w.mu.Unlock()
+}
+
+// Append queues r in the log buffer; see AppendPut. Retained for callers
+// that already hold a Record (marks, tests).
+func (w *Writer) Append(r *Record) {
+	w.mu.Lock()
+	w.buf = appendRecord(w.buf, r.TS, r.Op, r.Key, r.Puts)
+	n := len(w.buf)
+	w.mu.Unlock()
+	w.kickIfBig(n)
+}
+
+// Flush writes buffered records to the file and, when sync is enabled,
+// forces them to storage. Appenders are blocked only for the buffer swap,
+// not for the file write.
+func (w *Writer) Flush() error {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
 	return w.flushLocked()
 }
 
+// flushLocked swaps the append buffer with the (normally empty) flush
+// buffer and writes the swapped-out contents. A failed write keeps the
+// batch in the flush buffer and retries it before taking more records, so
+// a transient device error loses nothing and log order always matches
+// append order. Caller holds fmu.
 func (w *Writer) flushLocked() error {
-	if len(w.buf) == 0 || w.f == nil {
+	if w.fbufOff < len(w.fbuf) {
+		// A previous flush failed; drain its remaining bytes first.
+		if err := w.writeOut(); err != nil {
+			return err
+		}
+	}
+	w.mu.Lock()
+	w.buf, w.fbuf = w.fbuf[:0], w.buf
+	w.mu.Unlock()
+	return w.writeOut()
+}
+
+// writeOut writes the flush buffer's unwritten tail to the file, retaining
+// exactly the bytes the file did not take: a partial write (ENOSPC and
+// friends) advances the offset past the written prefix, so the retry
+// continues mid-stream instead of splicing duplicate bytes into the record
+// framing. Caller holds fmu.
+func (w *Writer) writeOut() error {
+	if w.fbufOff >= len(w.fbuf) {
 		return nil
 	}
-	if _, err := w.f.Write(w.buf); err != nil {
-		return err
+	if w.f == nil {
+		return w.noteErr(errors.New("wal: log file unavailable"))
 	}
-	w.buf = w.buf[:0]
+	n, err := w.f.Write(w.fbuf[w.fbufOff:])
+	w.fbufOff += n
+	if err != nil {
+		return w.noteErr(err)
+	}
 	if w.sync {
-		return w.f.Sync()
+		// The bytes are handed off even if the force fails; the next
+		// flush's Sync covers them (rewriting would duplicate records).
+		if err := w.f.Sync(); err != nil {
+			return w.noteErr(err)
+		}
+	}
+	w.fbufOff = 0
+	if cap(w.fbuf) > maxRetainedLogBuf {
+		w.fbuf = nil
+	} else {
+		w.fbuf = w.fbuf[:0]
 	}
 	return nil
+}
+
+// noteErr records a flush failure for FlushStats and returns it.
+func (w *Writer) noteErr(err error) error {
+	w.flushErrs.Add(1)
+	w.lastErr.Store(&err)
+	return err
+}
+
+// FlushStats reports how many background or foreground flushes have failed
+// and the most recent failure (nil if none).
+func (w *Writer) FlushStats() (errs int64, last error) {
+	if p := w.lastErr.Load(); p != nil {
+		last = *p
+	}
+	return w.flushErrs.Load(), last
 }
 
 func (w *Writer) flushLoop(every time.Duration) {
@@ -120,7 +258,7 @@ func (w *Writer) flushLoop(every time.Duration) {
 	for {
 		select {
 		case <-t.C:
-			w.Flush()
+			w.Flush() // failures are recorded by noteErr for FlushStats
 		case <-w.flushCh:
 			w.Flush()
 		case <-w.done:
@@ -133,8 +271,8 @@ func (w *Writer) flushLoop(every time.Duration) {
 // checkpoint start so pre-checkpoint log files can be reclaimed once the
 // checkpoint is durable.
 func (w *Writer) Rotate(gen uint64) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
 	if err := w.flushLocked(); err != nil {
 		return err
 	}
@@ -147,17 +285,17 @@ func (w *Writer) Rotate(gen uint64) error {
 
 // Close flushes and closes the log.
 func (w *Writer) Close() error {
-	w.mu.Lock()
+	w.fmu.Lock()
 	if w.closed {
-		w.mu.Unlock()
+		w.fmu.Unlock()
 		return nil
 	}
 	w.closed = true
-	w.mu.Unlock()
+	w.fmu.Unlock()
 	close(w.done)
 	w.wg.Wait()
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
 	err := w.flushLocked()
 	if w.f != nil {
 		w.f.Close()
@@ -237,6 +375,19 @@ func (s *Set) Flush() error {
 		}
 	}
 	return nil
+}
+
+// FlushStats aggregates flush failures across the set: the total count and
+// the most recent error observed on any writer.
+func (s *Set) FlushStats() (errs int64, last error) {
+	for _, w := range s.writers {
+		n, e := w.FlushStats()
+		errs += n
+		if e != nil {
+			last = e
+		}
+	}
+	return errs, last
 }
 
 // Close flushes and closes every writer.
