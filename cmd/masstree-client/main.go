@@ -5,8 +5,14 @@
 //	masstree-client -addr host:7500 get KEY [COL...]
 //	masstree-client -addr host:7500 put KEY VALUE
 //	masstree-client -addr host:7500 putcol KEY COL VALUE [COL VALUE...]
+//	masstree-client -addr host:7500 cas KEY EXPECTVER VALUE
 //	masstree-client -addr host:7500 del KEY
 //	masstree-client -addr host:7500 scan START N
+//
+// get prints the value's version; cas writes column 0 only if the key's
+// current version still equals EXPECTVER (0 = key must be absent), printing
+// either the new version or the conflicting current version — the version a
+// retry should expect after re-reading.
 package main
 
 import (
@@ -47,12 +53,13 @@ func main() {
 			}
 			cols = append(cols, n)
 		}
-		vals, ok, err := c.Get([]byte(args[1]), cols)
+		vals, ver, ok, err := c.GetVer([]byte(args[1]), cols)
 		check(err)
 		if !ok {
 			fmt.Println("(not found)")
 			os.Exit(1)
 		}
+		fmt.Printf("version %d\n", ver)
 		for i, v := range vals {
 			fmt.Printf("col %d: %q\n", i, v)
 		}
@@ -77,6 +84,22 @@ func main() {
 		}
 		ver, err := c.Put([]byte(args[1]), puts)
 		check(err)
+		fmt.Printf("ok (version %d)\n", ver)
+	case "cas":
+		if len(args) != 4 {
+			usage()
+		}
+		expect, err := strconv.ParseUint(args[2], 10, 64)
+		if err != nil {
+			log.Fatalf("masstree-client: bad expected version %q", args[2])
+		}
+		ver, ok, err := c.CasPut([]byte(args[1]), expect,
+			[]wire.ColData{{Col: 0, Data: []byte(args[3])}})
+		check(err)
+		if !ok {
+			fmt.Printf("conflict (current version %d)\n", ver)
+			os.Exit(1)
+		}
 		fmt.Printf("ok (version %d)\n", ver)
 	case "del":
 		if len(args) != 2 {
@@ -123,9 +146,11 @@ func check(err error) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: masstree-client [-addr host:port] COMMAND
-  get KEY [COL...]             read a key (optionally specific columns)
+  get KEY [COL...]             read a key (prints its version and columns)
   put KEY VALUE                write column 0
   putcol KEY COL VALUE [...]   write specific columns atomically
+  cas KEY EXPECTVER VALUE      conditional write: applies only if the key's
+                               version is still EXPECTVER (0 = absent)
   del KEY                      remove a key
   scan START N                 range query: up to N pairs from START
   stats                        server statistics (tree counters)`)

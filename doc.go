@@ -14,8 +14,24 @@
 // shardedClock), and log records are encoded directly into per-worker
 // double-buffered logs whose flushes never block appenders (§5, wal).
 //
+// The transport is protocol v2 (internal/wire): a hello exchange negotiates
+// the version (clients that send no hello speak v1 verbatim), after which
+// every frame carries a sequence tag and many batches ride one connection
+// at once. The async client (client.Conn, Go/Wait) pipelines tagged batches
+// behind one another, and the server turns each v2 connection into a
+// reader → executor → writer pipeline over a recycled scratch ring, so
+// decoding frame N+1 overlaps executing frame N and writing frame N−1 —
+// batching fills each message, pipelining fills the gaps between messages
+// (§7: "batched query support is vital on these benchmarks"). The API also
+// exposes record versions end to end: gets return the value's version and
+// OpCas applies a put only if the version still matches (checked under the
+// same border-node lock as the write), giving clients lock-free
+// read-modify-write across the network.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
 // results. The implementation lives under internal/; runnable entry points
-// are under cmd/ and examples/. BENCH_pipeline.json and
-// BENCH_writepath.json record the read- and write-path pipeline numbers.
+// are under cmd/ and examples/ (examples/pipeline demonstrates the async
+// client and CAS). BENCH_pipeline.json, BENCH_writepath.json, and
+// BENCH_pipeline_v2.json record the read-path, write-path, and pipelining
+// numbers.
 package repro

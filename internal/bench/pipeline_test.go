@@ -11,25 +11,10 @@ import (
 )
 
 // startPipelineServer starts an in-memory store and TCP server preloaded
-// with nkeys single-column values, returning a connected client.
+// with nkeys single-column values, returning a connected v1 client.
 func startPipelineServer(b *testing.B, nkeys int) *client.Client {
 	b.Helper()
-	store, err := kvstore.Open(kvstore.Config{MaintainEvery: -1})
-	if err != nil {
-		b.Fatal(err)
-	}
-	srv := server.New(store, 2)
-	if err := srv.Listen("127.0.0.1:0"); err != nil {
-		b.Fatal(err)
-	}
-	b.Cleanup(func() {
-		srv.Close()
-		store.Close()
-	})
-	for i := 0; i < nkeys; i++ {
-		store.PutSimple(0, pipelineKey(i), []byte("value-of-some-plausible-length"))
-	}
-	c, err := client.Dial(srv.Addr().String())
+	c, err := client.Dial(startPipelineServerAddr(b, nkeys))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -99,4 +84,101 @@ func BenchmarkServerRoundTrip(b *testing.B) {
 // the paper's units (the batch amortizes one round trip over `batch` ops).
 func reportPerRequest(b *testing.B, batch int) {
 	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// startPipelineServerAddr starts the preloaded store and server, returning
+// its address for benchmarks that dial their own connections.
+func startPipelineServerAddr(b *testing.B, nkeys int) string {
+	b.Helper()
+	store, err := kvstore.Open(kvstore.Config{MaintainEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(store, 2)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		srv.Close()
+		store.Close()
+	})
+	for i := 0; i < nkeys; i++ {
+		store.PutSimple(0, pipelineKey(i), []byte("value-of-some-plausible-length"))
+	}
+	return srv.Addr().String()
+}
+
+// BenchmarkPipelinedRoundTrip compares the blocking v1 client (one frame in
+// flight: the client idles during execution, the server idles during the
+// client's turnaround) against the v2 pipelined Conn at several window
+// depths on the same 64-get batch. Window 1 isolates the v2 framing cost;
+// deeper windows overlap the client's encode, the server's three pipeline
+// stages, and the wire, which is where the paper's "batched query support
+// is vital" turns into sustained throughput rather than per-round-trip
+// latency.
+func BenchmarkPipelinedRoundTrip(b *testing.B) {
+	const nkeys = 4096
+	const batch = 64
+	mkReqs := func() []wire.Request {
+		reqs := make([]wire.Request, batch)
+		for i := range reqs {
+			reqs[i] = wire.Request{Op: wire.OpGet, Key: pipelineKey(i * 7 % nkeys)}
+		}
+		return reqs
+	}
+
+	b.Run("blocking-do", func(b *testing.B) {
+		c := startPipelineServer(b, nkeys)
+		reqs := mkReqs()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resps, err := c.DoReuse(reqs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(resps) != batch || resps[0].Status != wire.StatusOK {
+				b.Fatalf("bad responses: %d status %d", len(resps), resps[0].Status)
+			}
+		}
+		reportPerRequest(b, batch)
+	})
+
+	for _, window := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("conn-window%d", window), func(b *testing.B) {
+			addr := startPipelineServerAddr(b, nkeys)
+			c, err := client.DialConn(addr, client.WithWindow(window))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { c.Close() })
+			reqs := mkReqs()
+			wait := func(p *client.Pending) {
+				resps, err := p.Wait()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(resps) != batch || resps[0].Status != wire.StatusOK {
+					b.Fatalf("bad responses: %d", len(resps))
+				}
+				p.Release()
+			}
+			// Keep `window` batches in flight: wait for the oldest before
+			// issuing the next once the ring is full.
+			ring := make([]*client.Pending, 0, window)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(ring) == window {
+					wait(ring[0])
+					ring = append(ring[:0], ring[1:]...)
+				}
+				ring = append(ring, c.Go(reqs))
+			}
+			for _, p := range ring {
+				wait(p)
+			}
+			reportPerRequest(b, batch)
+		})
+	}
 }

@@ -2,9 +2,30 @@
 // supports batched queries — many operations per network message — which §7
 // shows is vital for throughput on small-operation workloads.
 //
-// A Client owns one TCP connection and is safe for one goroutine at a time;
-// open several clients for parallel load (the paper's benchmarks run many
-// client processes against per-core server queues).
+// Two clients are provided. Client speaks protocol v1: it owns one TCP
+// connection, allows one batch in flight, and is safe for one goroutine at
+// a time; open several clients for parallel load (the paper's benchmarks
+// run many client processes against per-core server queues).
+//
+// Conn speaks protocol v2: it is safe for concurrent use and keeps many
+// tagged batches in flight on one connection, so neither side ever idles
+// waiting for the other's round trip. Issue batches asynchronously with Go
+// and collect them with Wait:
+//
+//	conn, err := client.DialConn(addr, client.WithWindow(16))
+//	...
+//	p1 := conn.Go(batch1) // sent; does not wait for the response
+//	p2 := conn.Go(batch2) // pipelined behind batch1
+//	resps1, err := p1.Wait()
+//	...read resps1...
+//	p1.Release() // recycle decode buffers; resps1 invalid after this
+//	resps2, err := p2.Wait()
+//	...
+//
+// Both clients expose versioned conditional writes (CasPut): every get
+// returns the value's version, and a CasPut applies only if the key's
+// version still matches, enabling lock-free read-modify-write across the
+// network.
 package client
 
 import (
@@ -111,6 +132,38 @@ func (c *Client) Put(key []byte, puts []wire.ColData) (uint64, error) {
 // PutSimple writes data as column 0 of key.
 func (c *Client) PutSimple(key, data []byte) (uint64, error) {
 	return c.Put(key, []wire.ColData{{Col: 0, Data: data}})
+}
+
+// CasPut conditionally writes columns of one key: the write applies only
+// if the key's current version equals expect (0 = key absent). On success
+// it returns the new version with ok true; on conflict, the key's current
+// version with ok false. (OpCas is carried by the v1 framing too — only
+// pipelining needs the v2 Conn.)
+func (c *Client) CasPut(key []byte, expect uint64, puts []wire.ColData) (ver uint64, ok bool, err error) {
+	resps, err := c.Do([]wire.Request{{Op: wire.OpCas, Key: key, ExpectVersion: expect, Puts: puts}})
+	if err != nil {
+		return 0, false, err
+	}
+	switch resps[0].Status {
+	case wire.StatusOK:
+		return resps[0].Version, true, nil
+	case wire.StatusConflict:
+		return resps[0].Version, false, nil
+	}
+	return 0, false, fmt.Errorf("client: cas status %d", resps[0].Status)
+}
+
+// GetVer is Get also returning the value's version — the token CasPut
+// expects.
+func (c *Client) GetVer(key []byte, cols []int) (vals [][]byte, ver uint64, ok bool, err error) {
+	resps, err := c.Do([]wire.Request{{Op: wire.OpGet, Key: key, Cols: cols}})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if resps[0].Status != wire.StatusOK {
+		return nil, 0, false, nil
+	}
+	return resps[0].Cols, resps[0].Version, true, nil
 }
 
 // Remove deletes one key; reports whether it existed.

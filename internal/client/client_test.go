@@ -37,3 +37,9 @@ func TestUDPTimeoutOnSilentPeer(t *testing.T) {
 		t.Fatal("timeout took too long")
 	}
 }
+
+func TestDialConnRefused(t *testing.T) {
+	if _, err := DialConn("127.0.0.1:1"); err == nil {
+		t.Fatal("expected connection error")
+	}
+}

@@ -1,0 +1,493 @@
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Conn is a concurrency-safe pipelined connection speaking protocol v2.
+// Every request batch goes out in a tagged frame, so many batches can be in
+// flight at once; the server answers in arrival order and echoes each tag,
+// and a reader goroutine matches responses back to their callers. Use Go to
+// issue a batch without blocking and Pending.Wait to collect it later:
+//
+//	p1 := conn.Go(batch1)          // in flight
+//	p2 := conn.Go(batch2)          // also in flight — no round-trip wait
+//	resps, err := p1.Wait()
+//	...use resps...
+//	p1.Release()                   // recycle the batch's decode buffers
+//
+// All methods are safe for concurrent use. The number of in-flight batches
+// is bounded by the window (WithWindow); Go blocks when the window is full,
+// which is what keeps slow servers from buffering unbounded requests.
+//
+// In steady state a Go/Wait/Release cycle allocates nothing on the client:
+// frames encode into a connection-owned buffer, Pendings are recycled
+// through a free list, and each Pending decodes responses into its own
+// reusable scratch (which is why responses are only valid until Release).
+type Conn struct {
+	nc net.Conn
+
+	wmu sync.Mutex // serializes frame encode+write across Go calls
+	w   *bufio.Writer
+	enc []byte // encode buffer, reused across Go calls (guarded by wmu)
+
+	// slots bounds the in-flight window: Go acquires a slot, the reader
+	// (or failure handling) releases it when the batch completes.
+	slots chan struct{}
+
+	// flushCh wakes the flusher goroutine after a Go buffered a frame.
+	// Flushing out-of-line coalesces syscalls: while the flusher is inside
+	// one Flush, any number of Go calls append to the buffered writer, and
+	// the single pending signal (cap 1) flushes them all together. The
+	// invariant is that a signal is sent only after its frame is fully
+	// buffered under wmu, and the flusher takes wmu to flush, so every
+	// buffered frame is covered by a flush that starts after it.
+	flushCh chan struct{}
+
+	mu      sync.Mutex
+	pending map[uint32]*Pending // tag -> in-flight batch
+	free    []*Pending          // recycled Pendings (with their scratch)
+	nextTag uint32
+	err     error // sticky transport error; set once, fails all later Gos
+
+	readerDone chan struct{}
+}
+
+// Pending is one in-flight batch issued by Conn.Go. Exactly one Wait call
+// must follow each Go; Release recycles the Pending (and the buffers its
+// responses alias) for later Go calls.
+type Pending struct {
+	c     *Conn
+	tag   uint32
+	nreq  int
+	resps []wire.Response
+	err   error
+	dec   wire.RespDecodeBuf // per-Pending decode scratch; resps alias it
+	done  chan struct{}      // cap 1; one signal per Go
+}
+
+// DefaultWindow is the default bound on in-flight batches per Conn.
+const DefaultWindow = 16
+
+var errConnClosed = errors.New("client: connection closed")
+
+// ConnOption configures DialConn.
+type ConnOption func(*connConfig)
+
+type connConfig struct {
+	window int
+}
+
+// WithWindow bounds the number of batches in flight at once (>= 1). Window
+// 1 degenerates to the blocking one-frame-at-a-time discipline of the v1
+// client, which makes it the natural baseline for pipelining benchmarks.
+func WithWindow(n int) ConnOption {
+	return func(c *connConfig) {
+		if n > 0 {
+			c.window = n
+		}
+	}
+}
+
+// DialConn connects to a server and negotiates protocol v2 with a hello
+// exchange. It fails if the server only speaks v1.
+func DialConn(addr string, opts ...ConnOption) (*Conn, error) {
+	cfg := connConfig{window: DefaultWindow}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	w := bufio.NewWriterSize(nc, 1<<16)
+	r := bufio.NewReaderSize(nc, 1<<16)
+	if err := wire.WriteHello(w, wire.Version2); err == nil {
+		err = w.Flush()
+	}
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	ver, err := wire.ReadHello(r)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: hello: %w", err)
+	}
+	if ver != wire.Version2 {
+		nc.Close()
+		return nil, fmt.Errorf("client: server accepted protocol %d, need %d", ver, wire.Version2)
+	}
+	c := &Conn{
+		nc:         nc,
+		w:          w,
+		slots:      make(chan struct{}, cfg.window),
+		flushCh:    make(chan struct{}, 1),
+		pending:    make(map[uint32]*Pending, cfg.window),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop(r)
+	go c.flushLoop()
+	return c, nil
+}
+
+// flushLoop pushes buffered frames to the kernel; see flushCh. It exits
+// with the reader (whose shutdown implies no response will ever need
+// another flush).
+func (c *Conn) flushLoop() {
+	for {
+		select {
+		case <-c.flushCh:
+			c.wmu.Lock()
+			err := c.w.Flush()
+			c.wmu.Unlock()
+			if err != nil {
+				c.fail(err)
+			}
+		case <-c.readerDone:
+			return
+		}
+	}
+}
+
+// Go sends one request batch and returns immediately with a Pending for its
+// responses. It blocks only while the in-flight window is full. The reqs
+// slice and its contents are fully encoded before Go returns and may be
+// reused by the caller immediately.
+func (c *Conn) Go(reqs []wire.Request) *Pending {
+	c.slots <- struct{}{}
+	c.mu.Lock()
+	p := c.takePending()
+	p.nreq = len(reqs)
+	if c.err != nil {
+		p.err = c.err
+		c.mu.Unlock()
+		<-c.slots
+		p.done <- struct{}{}
+		return p
+	}
+	p.tag = c.nextTag
+	c.nextTag++
+	c.pending[p.tag] = p
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	b, encErr := wire.AppendTaggedRequests(c.enc[:0], p.tag, reqs)
+	var werr error
+	if encErr == nil {
+		_, werr = c.w.Write(b)
+	}
+	if cap(b) <= maxRetainedScratch {
+		c.enc = b[:0]
+	} else {
+		c.enc = nil
+	}
+	c.wmu.Unlock()
+	if encErr != nil {
+		// Nothing reached the wire: this batch alone is unsendable (e.g.
+		// it encodes past MaxMessage), the connection is still healthy.
+		// Complete just this Pending — unless a concurrent transport
+		// failure got to it first (completion belongs to whoever removes
+		// it from the pending map).
+		c.mu.Lock()
+		_, mine := c.pending[p.tag]
+		delete(c.pending, p.tag)
+		c.mu.Unlock()
+		if mine {
+			p.err = encErr
+			<-c.slots
+			p.done <- struct{}{}
+		}
+		return p
+	}
+	if werr != nil {
+		// p is registered, so fail covers it (and everything else in
+		// flight) exactly once.
+		c.fail(werr)
+		return p
+	}
+	// Hand the actual syscall to the flusher; a signal already pending
+	// covers this frame too (the flusher flushes after taking wmu, which
+	// orders it behind the Write above).
+	select {
+	case c.flushCh <- struct{}{}:
+	default:
+	}
+	return p
+}
+
+// takePending pops a recycled Pending or builds a fresh one. Caller holds
+// c.mu.
+func (c *Conn) takePending() *Pending {
+	if n := len(c.free); n > 0 {
+		p := c.free[n-1]
+		c.free = c.free[:n-1]
+		p.resps, p.err = nil, nil
+		return p
+	}
+	return &Pending{c: c, done: make(chan struct{}, 1)}
+}
+
+// readLoop owns the read half: it matches each tagged response frame to its
+// Pending, decodes into that Pending's scratch, and completes it. Any
+// transport or protocol error fails every in-flight batch and ends the
+// connection.
+func (c *Conn) readLoop(r *bufio.Reader) {
+	defer close(c.readerDone)
+	for {
+		tag, n, err := wire.ReadTaggedHeader(r)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		p := c.pending[tag]
+		delete(c.pending, tag)
+		c.mu.Unlock()
+		if p == nil {
+			c.fail(fmt.Errorf("client: response for unknown tag %d", tag))
+			return
+		}
+		p.dec.Shrink(maxRetainedScratch)
+		resps, err := wire.ReadTaggedResponseBody(r, n, &p.dec)
+		if err == nil && len(resps) != p.nreq {
+			err = fmt.Errorf("client: %d responses for %d requests", len(resps), p.nreq)
+		}
+		p.resps, p.err = resps, err
+		<-c.slots
+		p.done <- struct{}{}
+		if err != nil {
+			c.fail(err)
+			return
+		}
+	}
+}
+
+// fail records the connection's first error and completes every in-flight
+// Pending with it. Safe to call from both the writer (Go) and reader sides;
+// each Pending is completed exactly once because completion requires
+// removing it from the pending map under c.mu.
+func (c *Conn) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	err = c.err
+	failed := make([]*Pending, 0, len(c.pending))
+	for tag, p := range c.pending {
+		delete(c.pending, tag)
+		failed = append(failed, p)
+	}
+	c.mu.Unlock()
+	for _, p := range failed {
+		p.resps, p.err = nil, err
+		<-c.slots
+		p.done <- struct{}{}
+	}
+}
+
+// Wait blocks until the batch's responses arrive and returns them in
+// request order. The responses (and every slice they reference) alias the
+// Pending's reusable scratch: they are valid until Release. Call Wait
+// exactly once per Go.
+func (p *Pending) Wait() ([]wire.Response, error) {
+	<-p.done
+	return p.resps, p.err
+}
+
+// Release recycles p for future Go calls on the same connection. The
+// responses returned by Wait (and everything they reference) are invalid
+// afterwards.
+func (p *Pending) Release() {
+	c := p.c
+	p.resps = nil
+	c.mu.Lock()
+	c.free = append(c.free, p)
+	c.mu.Unlock()
+}
+
+// Close tears the connection down, failing any in-flight batches with an
+// error, and waits for the reader to exit.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = errConnClosed
+	}
+	c.mu.Unlock()
+	err := c.nc.Close()
+	<-c.readerDone
+	return err
+}
+
+// Do executes one batch and blocks for its responses — Go plus Wait for
+// callers that don't pipeline. The returned responses own their memory and
+// may be retained.
+func (c *Conn) Do(reqs []wire.Request) ([]wire.Response, error) {
+	p := c.Go(reqs)
+	resps, err := p.Wait()
+	if err != nil {
+		p.Release()
+		return nil, err
+	}
+	out := cloneResponses(resps)
+	p.Release()
+	return out, nil
+}
+
+// Get retrieves columns of one key (nil cols = all). It also returns the
+// value's version — the token a subsequent CasPut expects — and ok false if
+// the key is absent.
+func (c *Conn) Get(key []byte, cols []int) (vals [][]byte, ver uint64, ok bool, err error) {
+	p := c.Go([]wire.Request{{Op: wire.OpGet, Key: key, Cols: cols}})
+	resps, err := p.Wait()
+	if err != nil {
+		p.Release()
+		return nil, 0, false, err
+	}
+	r := &resps[0]
+	if r.Status != wire.StatusOK {
+		p.Release()
+		return nil, 0, false, nil
+	}
+	vals = cloneCols(r.Cols)
+	ver = r.Version
+	p.Release()
+	return vals, ver, true, nil
+}
+
+// Put writes columns of one key and returns the new version.
+func (c *Conn) Put(key []byte, puts []wire.ColData) (uint64, error) {
+	p := c.Go([]wire.Request{{Op: wire.OpPut, Key: key, Puts: puts}})
+	resps, err := p.Wait()
+	if err != nil {
+		p.Release()
+		return 0, err
+	}
+	ver := resps[0].Version
+	p.Release()
+	return ver, nil
+}
+
+// PutSimple writes data as column 0 of key.
+func (c *Conn) PutSimple(key, data []byte) (uint64, error) {
+	return c.Put(key, []wire.ColData{{Col: 0, Data: data}})
+}
+
+// CasPut conditionally writes columns of one key: the write applies only if
+// the key's current version equals expect (0 = key absent, so expect 0 is
+// create-if-absent). On success it returns the new version with ok true; on
+// conflict, the key's current version with ok false so the caller can
+// re-Get, rebase, and retry.
+func (c *Conn) CasPut(key []byte, expect uint64, puts []wire.ColData) (ver uint64, ok bool, err error) {
+	p := c.Go([]wire.Request{{Op: wire.OpCas, Key: key, ExpectVersion: expect, Puts: puts}})
+	resps, err := p.Wait()
+	if err != nil {
+		p.Release()
+		return 0, false, err
+	}
+	status, version := resps[0].Status, resps[0].Version
+	p.Release()
+	switch status {
+	case wire.StatusOK:
+		return version, true, nil
+	case wire.StatusConflict:
+		return version, false, nil
+	}
+	return 0, false, fmt.Errorf("client: cas status %d", status)
+}
+
+// Remove deletes one key; reports whether it existed.
+func (c *Conn) Remove(key []byte) (bool, error) {
+	p := c.Go([]wire.Request{{Op: wire.OpRemove, Key: key}})
+	resps, err := p.Wait()
+	if err != nil {
+		p.Release()
+		return false, err
+	}
+	ok := resps[0].Status == wire.StatusOK
+	p.Release()
+	return ok, nil
+}
+
+// GetRange returns up to n pairs starting at the first key >= start.
+func (c *Conn) GetRange(start []byte, n int, cols []int) ([]wire.Pair, error) {
+	p := c.Go([]wire.Request{{Op: wire.OpGetRange, Key: start, N: n, Cols: cols}})
+	resps, err := p.Wait()
+	if err != nil {
+		p.Release()
+		return nil, err
+	}
+	pairs := clonePairs(resps[0].Pairs)
+	p.Release()
+	return pairs, nil
+}
+
+// Stats returns the server's metric name/value pairs.
+func (c *Conn) Stats() (map[string]int64, error) {
+	p := c.Go([]wire.Request{{Op: wire.OpStats}})
+	resps, err := p.Wait()
+	if err != nil {
+		p.Release()
+		return nil, err
+	}
+	out := make(map[string]int64, len(resps[0].Pairs))
+	for _, pair := range resps[0].Pairs {
+		n, err := strconv.ParseInt(string(pair.Cols[0]), 10, 64)
+		if err != nil {
+			p.Release()
+			return nil, fmt.Errorf("client: bad stats value for %q: %w", pair.Key, err)
+		}
+		out[string(pair.Key)] = n
+	}
+	p.Release()
+	return out, nil
+}
+
+// cloneCols deep-copies a column set out of reusable decode scratch.
+func cloneCols(cols [][]byte) [][]byte {
+	if cols == nil {
+		return nil
+	}
+	out := make([][]byte, len(cols))
+	for i, c := range cols {
+		out[i] = append([]byte(nil), c...)
+	}
+	return out
+}
+
+// clonePairs deep-copies range-query pairs out of reusable decode scratch.
+func clonePairs(pairs []wire.Pair) []wire.Pair {
+	if pairs == nil {
+		return nil
+	}
+	out := make([]wire.Pair, len(pairs))
+	for i, p := range pairs {
+		out[i] = wire.Pair{Key: append([]byte(nil), p.Key...), Cols: cloneCols(p.Cols)}
+	}
+	return out
+}
+
+// cloneResponses deep-copies a response batch out of reusable decode
+// scratch, for the blocking wrappers whose results may be retained.
+func cloneResponses(resps []wire.Response) []wire.Response {
+	out := make([]wire.Response, len(resps))
+	for i, r := range resps {
+		out[i] = wire.Response{
+			Status:  r.Status,
+			Version: r.Version,
+			Cols:    cloneCols(r.Cols),
+			Pairs:   clonePairs(r.Pairs),
+		}
+	}
+	return out
+}

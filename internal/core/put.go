@@ -26,6 +26,19 @@ func (t *Tree) Update(key []byte, f func(old *value.Value) *value.Value) (old, s
 	return old, stored
 }
 
+// Apply is Update for conditional writes: f runs under the owning border
+// node's lock with the current value (nil if the key is absent), but may
+// return nil to decline, leaving the tree unchanged — no store, no insert,
+// and no reader retries. This is the hook versioned compare-and-swap builds
+// on (a CAS inspects old's version under the lock and declines on
+// mismatch); the same contract applies to PutBatchInto's per-key callback,
+// so conditional writes batch exactly like unconditional ones. It returns
+// the value f observed and the value it stored (nil when it declined).
+func (t *Tree) Apply(key []byte, f func(old *value.Value) *value.Value) (old, stored *value.Value) {
+	old, stored, _ = t.put(key, f)
+	return old, stored
+}
+
 // lockBorder descends from root to the border node responsible for slice
 // and locks it. A split that committed between the descent and the lock may
 // have shifted responsibility for the key to a right sibling, so the border
@@ -89,8 +102,9 @@ restart:
 				}
 				if bytes.Equal(suf, k[8:]) {
 					old = (*value.Value)(n.loadLV(slot))
-					stored = f(old)
-					n.storeLV(slot, unsafe.Pointer(stored))
+					if stored = f(old); stored != nil {
+						n.storeLV(slot, unsafe.Pointer(stored))
+					}
 					n.h.unlock()
 					return old, stored, true
 				}
@@ -107,14 +121,19 @@ restart:
 				panic("core: unstable slot observed under lock")
 			default:
 				old = (*value.Value)(n.loadLV(slot))
-				stored = f(old)
-				n.storeLV(slot, unsafe.Pointer(stored))
+				if stored = f(old); stored != nil {
+					n.storeLV(slot, unsafe.Pointer(stored))
+				}
 				n.h.unlock()
 				return old, stored, true
 			}
 		}
-		// Key absent: insert it.
+		// Key absent: insert it — unless f declines (conditional writes).
 		stored = f(nil)
+		if stored == nil {
+			n.h.unlock()
+			return nil, nil, false
+		}
 		if perm.count() < width {
 			t.insertSlot(n, perm, rank, slice, k, stored)
 			n.h.unlock()

@@ -17,10 +17,12 @@ import (
 //
 // apply is called once per key, under the owning border node's lock, with
 // the key's original batch index and its current value (nil if absent), and
-// must return the non-nil value to store — exactly Update's contract (§4.7),
-// so multi-column puts stay atomic and version assignment can happen under
-// the lock (§5). Duplicate keys in one batch are applied in input order
-// (BatchScratch.order breaks slice ties by input index).
+// returns the value to store — exactly Apply's contract (§4.7): returning
+// nil declines the write and leaves the key untouched (conditional puts),
+// so multi-column puts stay atomic and version assignment or version
+// comparison can happen under the lock (§5). Duplicate keys in one batch
+// are applied in input order (BatchScratch.order breaks slice ties by input
+// index).
 func (t *Tree) PutBatchInto(keys [][]byte, sc *BatchScratch, apply func(i int, old *value.Value) *value.Value) {
 	if len(keys) == 0 {
 		return
@@ -67,7 +69,9 @@ restart:
 				}
 				if bytes.Equal(suf, k[8:]) {
 					old := (*value.Value)(n.loadLV(slot))
-					n.storeLV(slot, unsafe.Pointer(apply(idx[pos], old)))
+					if v := apply(idx[pos], old); v != nil {
+						n.storeLV(slot, unsafe.Pointer(v))
+					}
 					return t.extendRun(n, keys, idx, pos+1, depth, key, apply)
 				}
 				// Conflicting suffix: push the old key one layer down
@@ -82,12 +86,17 @@ restart:
 				panic("core: unstable slot observed under lock")
 			default:
 				old := (*value.Value)(n.loadLV(slot))
-				n.storeLV(slot, unsafe.Pointer(apply(idx[pos], old)))
+				if v := apply(idx[pos], old); v != nil {
+					n.storeLV(slot, unsafe.Pointer(v))
+				}
 				return t.extendRun(n, keys, idx, pos+1, depth, key, apply)
 			}
 		}
-		// Key absent: insert it.
+		// Key absent: insert it — unless apply declines (conditional writes).
 		stored := apply(idx[pos], nil)
+		if stored == nil {
+			return t.extendRun(n, keys, idx, pos+1, depth, key, apply)
+		}
 		if perm.count() < width {
 			t.insertSlot(n, perm, rank, slice, k, stored)
 			t.count.Add(1)
@@ -142,22 +151,27 @@ func (t *Tree) extendRun(n *borderNode, keys [][]byte, idx []int, pos int, depth
 					goto done // needs a push-down; new descent handles it
 				}
 				old := (*value.Value)(n.loadLV(slot))
-				n.storeLV(slot, unsafe.Pointer(apply(idx[pos], old)))
+				if v := apply(idx[pos], old); v != nil {
+					n.storeLV(slot, unsafe.Pointer(v))
+				}
 			case klLayer:
 				goto done // needs a layer descent
 			case klUnstable:
 				panic("core: unstable slot observed under lock")
 			default:
 				old := (*value.Value)(n.loadLV(slot))
-				n.storeLV(slot, unsafe.Pointer(apply(idx[pos], old)))
+				if v := apply(idx[pos], old); v != nil {
+					n.storeLV(slot, unsafe.Pointer(v))
+				}
 			}
 		} else {
 			if perm.count() >= width {
 				goto done // needs a split
 			}
-			stored := apply(idx[pos], nil)
-			t.insertSlot(n, perm, rank, slice, k, stored)
-			t.count.Add(1)
+			if stored := apply(idx[pos], nil); stored != nil {
+				t.insertSlot(n, perm, rank, slice, k, stored)
+				t.count.Add(1)
+			}
 		}
 		pos++
 	}

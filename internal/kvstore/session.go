@@ -84,6 +84,27 @@ func (ss *Session) PutSimple(key, data []byte) uint64 {
 	return ss.Put(key, ss.put1[:])
 }
 
+// CasPut conditionally applies column modifications: the write succeeds
+// only if key's current version equals expect (0 = key absent), evaluated
+// under the owning border node's lock. Success is logged as an ordinary put
+// and returns the new version; mismatch changes nothing and returns the
+// current version with ok false. See Store.CasPut.
+func (ss *Session) CasPut(key []byte, expect uint64, puts []value.ColPut) (ver uint64, ok bool) {
+	ss.h.Enter()
+	defer ss.h.Exit()
+	return ss.s.CasPut(ss.worker, key, expect, puts)
+}
+
+// GetValue returns key's current packed value. Values are immutable and
+// garbage-collected, so the result stays safe to read after the call; the
+// server uses this to surface value versions alongside columns (CAS needs
+// a version to expect).
+func (ss *Session) GetValue(key []byte) (*value.Value, bool) {
+	ss.h.Enter()
+	defer ss.h.Exit()
+	return ss.s.GetValue(key)
+}
+
 // PutBatchInto applies one put per key in a single epoch-protected batched
 // tree pass, sharing border-node lock acquisitions between co-located keys
 // (§4.8 applied to writes) and encoding all log records under one log-

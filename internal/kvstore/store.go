@@ -360,6 +360,41 @@ func (s *Store) Put(worker int, key []byte, puts []value.ColPut) uint64 {
 	return ver
 }
 
+// CasPut is a versioned conditional Put (Deuteronomy-style latch-free
+// read-modify-write exposed through the API): the column modifications
+// apply only if key's current version equals expect, with expect == 0
+// meaning "key absent" (so expect 0 is an atomic create-if-absent). The
+// comparison runs under the owning border node's lock — the same lock the
+// write publishes under, shared with the batched put path — so no window
+// exists between check and write. On success it behaves exactly like Put
+// (logged as an ordinary put through worker's log) and returns the new
+// version with ok true; on mismatch nothing changes and it returns the
+// current version (0 if absent) with ok false, letting the caller re-read
+// and rebase. Neither puts nor their Data slices are retained.
+func (s *Store) CasPut(worker int, key []byte, expect uint64, puts []value.ColPut) (ver uint64, ok bool) {
+	if s.logs != nil {
+		mu := s.lockWorker(worker)
+		defer mu.Unlock()
+	}
+	var cur, newVer uint64
+	s.tree.Apply(key, func(old *value.Value) *value.Value {
+		cur = old.Version() // Version is nil-safe: 0 for absent keys
+		if cur != expect {
+			return nil
+		}
+		ok = true
+		newVer = s.nextVersion(worker, old)
+		return value.BuildAt(old, puts, newVer, uint32(worker))
+	})
+	if !ok {
+		return cur, false
+	}
+	if s.logs != nil {
+		s.logs.Writer(worker).AppendPut(newVer, key, puts)
+	}
+	return newVer, true
+}
+
 // lockWorker serializes worker's draw-to-append window; see workerMu.
 func (s *Store) lockWorker(worker int) *paddedMutex {
 	mu := &s.workerMu[worker%len(s.workerMu)]

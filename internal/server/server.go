@@ -5,6 +5,17 @@
 // equally effective at avoiding network overhead"; batching many queries per
 // message amortizes network and syscall costs.
 //
+// Connections speak protocol v1 or v2 (see internal/wire): the first bytes
+// either begin a hello frame negotiating v2 or a v1 length header, so
+// legacy clients work verbatim. A v1 connection executes one frame at a
+// time in its goroutine. A v2 connection is served by a reader → executor →
+// writer pipeline: tagged frames cycle through a small ring of connScratch
+// buffers over bounded channels, so decoding frame N+1 overlaps executing
+// frame N and writing back frame N−1 while single-executor FIFO order
+// preserves per-connection response order by tag. Combined with a
+// pipelining client (many tagged frames in flight), neither side ever
+// stalls on the other's round trip.
+//
 // Execution is batch-aware in both directions: a run of consecutive OpGet
 // requests within one message is served through Session.GetBatchInto, and a
 // run of consecutive OpPut requests through Session.PutBatchInto — both
@@ -47,9 +58,13 @@ type Server struct {
 	// batchedGets counts OpGet requests served through the batched
 	// Session.GetBatch path (exported as the "batched_gets" stat);
 	// batchedPuts is its write-side twin for Session.PutBatchInto
-	// ("batched_puts").
-	batchedGets atomic.Int64
-	batchedPuts atomic.Int64
+	// ("batched_puts"). erroredRequests counts requests answered with
+	// StatusError because they could not be decoded or executed — a
+	// malformed request inside a decodable frame fails alone instead of
+	// killing its connection ("errored_requests").
+	batchedGets     atomic.Int64
+	batchedPuts     atomic.Int64
+	erroredRequests atomic.Int64
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -121,6 +136,13 @@ type connScratch struct {
 	putRuns [][]value.ColPut     // per-request windows into puts for PutBatchInto
 	pairs   []wire.Pair          // arena backing Response.Pairs for this message
 	rng     kvstore.RangeScratch // arenas behind Session.GetRangeInto
+
+	// v2 pipeline state: the frame's tag, its decoded requests (aliasing
+	// dec), and the claimed batch size (> len(reqs) when a decodable frame
+	// held undecodable requests; the tail is answered with StatusError).
+	tag     uint32
+	reqs    []wire.Request
+	claimed int
 }
 
 // minBatchRun is the shortest run of consecutive same-op requests routed
@@ -172,15 +194,52 @@ func (s *Server) serveConn(conn net.Conn, worker int) {
 	defer sess.Close()
 	r := bufio.NewReaderSize(conn, 1<<16)
 	w := bufio.NewWriterSize(conn, 1<<16)
+	// The connection's first bytes either begin a hello frame (negotiate
+	// v2) or a v1 length header (legacy client, served verbatim).
+	first, err := r.Peek(4)
+	if err != nil {
+		return
+	}
+	if !wire.IsHelloPrefix(first) {
+		s.serveV1(sess, r, w)
+		return
+	}
+	ver, err := wire.ReadHello(r)
+	if err != nil || ver < wire.Version2 {
+		// Version2 is the oldest hello-negotiated version (v1 clients send
+		// no hello), so a lower proposal is a protocol violation: drop the
+		// connection rather than answer with a version the sender could
+		// not speak (see the wire package comment).
+		return
+	}
+	if err := wire.WriteHello(w, wire.Version2); err != nil {
+		return
+	}
+	if err := w.Flush(); err != nil {
+		return
+	}
+	s.serveV2(conn, sess, r, w)
+}
+
+// serveV1 executes one frame at a time: the v1 protocol allows a single
+// batch in flight, so the read, execute, and write phases simply alternate
+// in this goroutine.
+func (s *Server) serveV1(sess *kvstore.Session, r *bufio.Reader, w *bufio.Writer) {
 	sc := &connScratch{}
 	for {
-		reqs, err := wire.ReadRequestsInto(r, &sc.dec)
+		body, err := wire.ReadRequestBody(r, &sc.dec)
 		if err != nil {
 			// EOF and friends are orderly shutdown; anything else is a
-			// protocol error. Either way, drop the connection.
+			// framing error. Either way, drop the connection.
 			return
 		}
-		s.executeBatch(sess, reqs, sc)
+		reqs, claimed, err := wire.ParseRequestsLenient(body, &sc.dec)
+		if err != nil {
+			// The frame itself cannot be trusted (forged count, trailing
+			// bytes): no per-request recovery is possible.
+			return
+		}
+		s.executeBatch(sess, reqs, claimed, sc)
 		if err := wire.WriteResponsesInto(w, sc.resps, &sc.enc); err != nil {
 			return
 		}
@@ -188,15 +247,117 @@ func (s *Server) serveConn(conn net.Conn, worker int) {
 	}
 }
 
-// executeBatch fills sc.resps with one response per request. Runs of
+// v2PipelineDepth is the number of connScratch buffers a v2 connection
+// cycles through its reader → executor → writer stages — one frame being
+// decoded, one executing, one being written back. More depth buys nothing:
+// the pipeline has three stages, and in-flight frames beyond it queue in
+// the kernel socket buffers.
+const v2PipelineDepth = 4
+
+// serveV2 runs the pipelined protocol: a reader goroutine decodes tagged
+// frames, this executor goroutine executes them, and a writer goroutine
+// streams the encoded responses back. Stages hand connScratch buffers
+// around over bounded channels (the scratch ring doubles as flow control),
+// so decoding frame N+1 overlaps executing frame N and writing frame N−1.
+// FIFO channels and the single executor preserve response order by tag.
+//
+// The executor runs in serveConn's goroutine: it is the stage that touches
+// the store, so server shutdown (which waits on serveConn via s.wg) cannot
+// return while a request still executes.
+func (s *Server) serveV2(conn net.Conn, sess *kvstore.Session, r *bufio.Reader, w *bufio.Writer) {
+	free := make(chan *connScratch, v2PipelineDepth)
+	for i := 0; i < v2PipelineDepth; i++ {
+		free <- &connScratch{}
+	}
+	decoded := make(chan *connScratch, v2PipelineDepth)
+	executed := make(chan *connScratch, v2PipelineDepth)
+
+	var pipeWG sync.WaitGroup
+	pipeWG.Add(2)
+	// Reader: frame in, requests decoded (aliasing the scratch), tag noted.
+	go func() {
+		defer pipeWG.Done()
+		defer close(decoded)
+		for {
+			sc := <-free
+			tag, n, err := wire.ReadTaggedHeader(r)
+			if err != nil {
+				return
+			}
+			body, err := wire.ReadTaggedRequestBody(r, n, &sc.dec)
+			if err != nil {
+				return
+			}
+			reqs, claimed, err := wire.ParseRequestsLenient(body, &sc.dec)
+			if err != nil {
+				return
+			}
+			sc.tag, sc.reqs, sc.claimed = tag, reqs, claimed
+			decoded <- sc
+		}
+	}()
+	// Writer: encodes each executed batch (the responses alias the
+	// scratch's arenas, which stay untouched until the scratch is recycled)
+	// and streams it out, recycling scratches to the reader. Encoding here
+	// rather than in the executor balances the pipeline: executing frame
+	// N+1 overlaps encoding and writing frame N. On an error it keeps
+	// draining (so the executor never blocks) with the connection closed,
+	// which unsticks the reader.
+	go func() {
+		defer pipeWG.Done()
+		failed := false
+		for sc := range executed {
+			if !failed {
+				b, err := wire.AppendTaggedResponses(sc.enc[:0], sc.tag, sc.resps)
+				if err != nil {
+					// Response exceeds the frame bound: unanswerable; drop
+					// the connection like the v1 path would.
+					failed = true
+					conn.Close()
+				} else {
+					sc.enc = b
+					if _, err := w.Write(sc.enc); err != nil {
+						failed = true
+						conn.Close()
+					} else if len(executed) == 0 {
+						// Nothing queued behind us: push the batch to the
+						// client now instead of waiting for more frames.
+						if err := w.Flush(); err != nil {
+							failed = true
+							conn.Close()
+						}
+					}
+				}
+			}
+			sc.shrink()
+			free <- sc
+		}
+	}()
+	// Executor (this goroutine): runs decoded requests against the store.
+	for sc := range decoded {
+		s.executeBatch(sess, sc.reqs, sc.claimed, sc)
+		executed <- sc
+	}
+	close(executed)
+	pipeWG.Wait()
+}
+
+// executeBatch fills sc.resps with one response per request — claimed of
+// them, where claimed >= len(reqs): a decodable frame whose tail could not
+// be decoded (unknown opcode, truncated payload) still gets a full batch of
+// responses, the undecodable suffix answered with StatusError, so one bad
+// request fails alone instead of killing the connection mid-batch. Runs of
 // consecutive OpGets (or OpPuts) of length >= minBatchRun are served
 // through the session's batched lookup (or batched put); everything else
 // executes one at a time.
-func (s *Server) executeBatch(sess *kvstore.Session, reqs []wire.Request, sc *connScratch) {
-	if cap(sc.resps) < len(reqs) {
-		sc.resps = make([]wire.Response, len(reqs))
+func (s *Server) executeBatch(sess *kvstore.Session, reqs []wire.Request, claimed int, sc *connScratch) {
+	if claimed < len(reqs) {
+		claimed = len(reqs)
 	}
-	sc.resps = sc.resps[:len(reqs)]
+	if cap(sc.resps) < claimed {
+		sc.resps = make([]wire.Response, claimed)
+	}
+	sc.resps = sc.resps[:claimed]
 	sc.cols = sc.cols[:0]
 	sc.pairs = sc.pairs[:0]
 	sc.rng.Reset()
@@ -219,6 +380,12 @@ func (s *Server) executeBatch(sess *kvstore.Session, reqs []wire.Request, sc *co
 		sc.resps[i] = s.execute(sess, &reqs[i], sc)
 		i++
 	}
+	for i := len(reqs); i < claimed; i++ {
+		sc.resps[i] = wire.Response{Status: wire.StatusError}
+	}
+	if claimed > len(reqs) {
+		s.erroredRequests.Add(int64(claimed - len(reqs)))
+	}
 }
 
 // executeGetRun serves a run of OpGet requests through Session.GetBatchInto
@@ -237,7 +404,8 @@ func (s *Server) executeGetRun(sess *kvstore.Session, reqs []wire.Request, resps
 		}
 		start := len(sc.cols)
 		sc.cols = kvstore.AppendCols(sc.cols, vals[i], reqs[i].Cols)
-		resps[i] = wire.Response{Status: wire.StatusOK, Cols: sc.cols[start:len(sc.cols):len(sc.cols)]}
+		resps[i] = wire.Response{Status: wire.StatusOK, Version: vals[i].Version(),
+			Cols: sc.cols[start:len(sc.cols):len(sc.cols)]}
 	}
 }
 
@@ -273,13 +441,16 @@ func (s *Server) executePutRun(sess *kvstore.Session, reqs []wire.Request, resps
 func (s *Server) execute(sess *kvstore.Session, r *wire.Request, sc *connScratch) wire.Response {
 	switch r.Op {
 	case wire.OpGet:
-		start := len(sc.cols)
-		cols, ok := sess.GetInto(r.Key, r.Cols, sc.cols)
-		sc.cols = cols
+		// Gets report the value's version so clients can chain OpCas off a
+		// read (versioned read-modify-write).
+		v, ok := sess.GetValue(r.Key)
 		if !ok {
 			return wire.Response{Status: wire.StatusNotFound}
 		}
-		return wire.Response{Status: wire.StatusOK, Cols: sc.cols[start:len(sc.cols):len(sc.cols)]}
+		start := len(sc.cols)
+		sc.cols = kvstore.AppendCols(sc.cols, v, r.Cols)
+		return wire.Response{Status: wire.StatusOK, Version: v.Version(),
+			Cols: sc.cols[start:len(sc.cols):len(sc.cols)]}
 	case wire.OpPut:
 		// The decoded put data aliases the connection's frame buffer; that
 		// is safe because the store copies it into the packed value and the
@@ -289,6 +460,20 @@ func (s *Server) execute(sess *kvstore.Session, r *wire.Request, sc *connScratch
 			sc.puts = append(sc.puts, value.ColPut{Col: p.Col, Data: p.Data})
 		}
 		ver := sess.Put(r.Key, sc.puts)
+		return wire.Response{Status: wire.StatusOK, Version: ver}
+	case wire.OpCas:
+		// Versioned conditional put: the store compares the current version
+		// with ExpectVersion under the owning border node's lock. Mismatch
+		// answers StatusConflict with the current version so the client can
+		// re-read and retry.
+		sc.puts = sc.puts[:0]
+		for _, p := range r.Puts {
+			sc.puts = append(sc.puts, value.ColPut{Col: p.Col, Data: p.Data})
+		}
+		ver, ok := sess.CasPut(r.Key, r.ExpectVersion, sc.puts)
+		if !ok {
+			return wire.Response{Status: wire.StatusConflict, Version: ver}
+		}
 		return wire.Response{Status: wire.StatusOK, Version: ver}
 	case wire.OpRemove:
 		if sess.Remove(r.Key) {
@@ -333,6 +518,7 @@ func (s *Server) statsResponse() wire.Response {
 		metric("slot_reuses", st.SlotReuses),
 		metric("batched_gets", s.batchedGets.Load()),
 		metric("batched_puts", s.batchedPuts.Load()),
+		metric("errored_requests", s.erroredRequests.Load()),
 		metric("flush_errors", flushErrs),
 	}}
 }

@@ -13,6 +13,14 @@ import (
 // bound to one worker id (one log stream), mirroring the paper's per-core
 // receive queues. A datagram carries one framed request batch; the response
 // batch returns in one datagram, so batches must fit the configured MTU.
+//
+// UDP remains protocol v1 only: pipelining exists to keep a stream busy
+// across round trips, and a datagram exchange has no stream — each request
+// datagram is its own "connection", so there is no hello to negotiate and
+// no tag to match. v2 traffic is rejected cleanly rather than misread: a
+// hello datagram's leading 0xFFFFFFFF and a tagged frame's marked length
+// word both decode as impossible v1 lengths, so ParseFrame drops them (the
+// client times out, the socket keeps serving).
 type udpListener struct {
 	conn   *net.UDPConn
 	worker int
@@ -72,7 +80,7 @@ func (s *Server) serveUDP(l *udpListener) {
 		if err != nil {
 			continue
 		}
-		s.executeBatch(sess, reqs, sc)
+		s.executeBatch(sess, reqs, len(reqs), sc)
 		out, err := wire.AppendResponses(sc.enc[:0], sc.resps)
 		if err != nil {
 			continue

@@ -162,3 +162,45 @@ func TestTCPPipelining(t *testing.T) {
 		t.Fatalf("pipelined write lost: %v %v %v", got, ok, err)
 	}
 }
+
+// UDP is v1-only: a hello datagram and a v2 tagged frame must both be
+// dropped cleanly (no response, no crash), and the socket must keep
+// serving v1 traffic afterwards.
+func TestUDPRejectsV2Frames(t *testing.T) {
+	_, addrs := startUDPServer(t, 1)
+	raw, err := net.DialUDP("udp", nil, addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+
+	// A hello frame: its leading 0xFFFFFFFF is an impossible v1 length.
+	if _, err := raw.Write(wire.AppendHello(nil, wire.Version2)); err != nil {
+		t.Fatal(err)
+	}
+	// A v2 tagged request frame: the marked length word is likewise
+	// rejected by ParseFrame before the tag can masquerade as a count.
+	tagged, err := wire.AppendTaggedRequests(nil, 7, []wire.Request{{Op: wire.OpGet, Key: []byte("k")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Write(tagged); err != nil {
+		t.Fatal(err)
+	}
+	raw.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 2048)
+	if n, err := raw.Read(buf); err == nil {
+		t.Fatalf("server answered a v2 datagram with %d bytes", n)
+	}
+
+	// The socket still serves v1.
+	c, err := client.DialUDP(addrs[0].String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resps, err := c.Do([]wire.Request{{Op: wire.OpStats}})
+	if err != nil || resps[0].Status != wire.StatusOK {
+		t.Fatalf("v1 datagram after v2 junk: %v %+v", err, resps)
+	}
+}

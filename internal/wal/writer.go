@@ -69,6 +69,9 @@ const kickThreshold = 1 << 20
 // newWriter opens (creating or appending) the generation-gen log file for a
 // worker.
 func newWriter(dir string, worker int, gen uint64, syncWrites bool, flushEvery time.Duration) (*Writer, error) {
+	if flushEvery <= 0 {
+		flushEvery = DefaultFlushInterval
+	}
 	w := &Writer{
 		dir:     dir,
 		worker:  worker,
@@ -219,18 +222,20 @@ func (w *Writer) writeOut() error {
 	if err != nil {
 		return w.noteErr(err)
 	}
-	if w.sync {
-		// The bytes are handed off even if the force fails; the next
-		// flush's Sync covers them (rewriting would duplicate records).
-		if err := w.f.Sync(); err != nil {
-			return w.noteErr(err)
-		}
-	}
 	w.fbufOff = 0
 	if cap(w.fbuf) > maxRetainedLogBuf {
 		w.fbuf = nil
 	} else {
 		w.fbuf = w.fbuf[:0]
+	}
+	if w.sync {
+		// The bytes are handed off even if the force fails; the next
+		// flush's Sync covers them (rewriting would duplicate records).
+		// The buffer was consumed above, so the failure never leaves a
+		// stale offset behind to swallow the next batch.
+		if err := w.f.Sync(); err != nil {
+			return w.noteErr(err)
+		}
 	}
 	return nil
 }

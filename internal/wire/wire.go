@@ -4,17 +4,56 @@
 // vital for throughput (§7: "Batched query support is vital on these
 // benchmarks") — and responses come back as a matching batch.
 //
-// Framing: every message is a 4-byte little-endian length followed by the
-// body. Bodies hold a 4-byte request/response count followed by that many
-// requests or responses.
+// # Protocol versions and framing
+//
+// Two frame layouts share one connection-level grammar, distinguished by
+// the top bit of the leading length word (lengths are bounded by MaxMessage,
+// far below 1<<31, so the bit is never part of an honest v1 length):
+//
+//	v1 frame:  length(4, LE)            | body
+//	v2 frame:  length(4, LE) | 1<<31    | tag(4, LE) | body
+//	hello:     0xFFFFFFFF | "MTKV"      | version(1)
+//
+// A body holds a 4-byte request/response count followed by that many
+// requests or responses. A v1 connection allows one frame in flight: the
+// client writes a batch and blocks for the matching batch of responses.
+//
+// Protocol v2 is negotiated by a hello exchange: the client's first bytes
+// are a hello frame proposing a version, the server answers with a hello
+// carrying the version it accepts (the minimum of both sides'), and every
+// subsequent frame in both directions is tagged. Version2 is the oldest
+// version a hello can negotiate — v1 clients simply send no hello — so a
+// server drops a connection whose hello proposes anything lower rather
+// than answering with a version the hello sender could not speak. Tags are opaque sequence
+// numbers chosen by the client; the server echoes each request frame's tag
+// on its response frame and answers frames in arrival order, so a client
+// may keep many tagged batches in flight (pipelining) and match responses
+// to requests by tag. A client that sends no hello speaks v1 verbatim —
+// the hello magic decodes as an impossible v1 length, so the two first
+// bytes streams cannot be confused.
+//
+// # Conditional writes
+//
+// OpCas is a versioned conditional put (Deuteronomy-style latch-free
+// read-modify-write): the request carries ExpectVersion, the version the
+// client last observed (0 meaning "key absent"), and the put applies only
+// if the key's current version still equals it. A mismatch returns
+// StatusConflict with the current version in Response.Version so the
+// client can re-read, rebase, and retry. Get responses carry the value's
+// version for exactly this purpose.
+//
+// # Decode/encode surfaces
 //
 // Two decode/encode surfaces exist. The legacy functions (ReadRequests,
 // WriteRequests, ...) return self-contained values and are safe to retain;
 // they draw their frame buffers from an internal pool. The scratch-based
-// variants (ReadRequestsInto, WriteResponsesInto, ...) reuse per-connection
-// buffers across messages and decode by aliasing the frame body instead of
-// copying, making the steady-state hot path allocation-free; their results
-// are only valid until the next call with the same scratch.
+// variants (ReadRequestsInto, WriteResponsesInto, the tagged v2 helpers,
+// ...) reuse per-connection buffers across messages and decode by aliasing
+// the frame body instead of copying, making the steady-state hot path
+// allocation-free; their results are only valid until the next call with
+// the same scratch. ParseRequestsLenient additionally decodes as much of a
+// damaged batch as possible so a server can answer the undecodable suffix
+// with StatusError instead of dropping the connection.
 package wire
 
 import (
@@ -41,6 +80,11 @@ const (
 	// OpStats requests server statistics; the response carries metric
 	// name/value pairs in Pairs.
 	OpStats OpCode = 5
+	// OpCas is a versioned conditional put: the column writes in Puts apply
+	// only if the key's current version equals ExpectVersion (0 = absent).
+	// On success the response is an ordinary put response; on mismatch it is
+	// StatusConflict with the current version.
+	OpCas OpCode = 6
 )
 
 // Status codes.
@@ -48,6 +92,9 @@ const (
 	StatusOK       uint8 = 0
 	StatusNotFound uint8 = 1
 	StatusError    uint8 = 2
+	// StatusConflict answers an OpCas whose ExpectVersion no longer matches;
+	// Response.Version carries the key's current version (0 if absent).
+	StatusConflict uint8 = 3
 )
 
 // ColData is a column index with data (for puts and responses).
@@ -58,11 +105,12 @@ type ColData struct {
 
 // Request is one operation within a batch.
 type Request struct {
-	Op   OpCode
-	Key  []byte
-	Cols []int     // columns to read (OpGet/OpGetRange); nil = all
-	Puts []ColData // column writes (OpPut)
-	N    int       // max pairs (OpGetRange)
+	Op            OpCode
+	Key           []byte
+	Cols          []int     // columns to read (OpGet/OpGetRange); nil = all
+	Puts          []ColData // column writes (OpPut/OpCas)
+	N             int       // max pairs (OpGetRange)
+	ExpectVersion uint64    // required current version (OpCas); 0 = absent
 }
 
 // Pair is one key-value result of a range query.
@@ -99,7 +147,7 @@ const (
 // scratch: a tiny wire request still occupies a full Request struct, so the
 // cap math must use the struct size, not the wire size.
 const (
-	requestStructBytes  = 88 // Op + Key/Cols/Puts headers + N
+	requestStructBytes  = 96 // Op + Key/Cols/Puts headers + N + ExpectVersion
 	responseStructBytes = 64 // Status + Version + Cols/Pairs headers
 )
 
@@ -189,6 +237,44 @@ func ParseRequests(body []byte, d *DecodeBuf) ([]Request, error) {
 	return d.reqs, nil
 }
 
+// ParseRequestsLenient decodes as much of a request-batch body as possible.
+// It returns the decodable prefix of the batch plus the batch's claimed
+// request count; a malformed request (unknown opcode, truncated payload)
+// ends the prefix instead of failing the whole frame, so a server can
+// answer the remaining claimed-len(reqs) requests with StatusError and keep
+// the connection alive. The error is non-nil only when the frame itself
+// cannot be trusted: a missing or dishonest count (each request encodes to
+// at least minRequestSize bytes, so a count a small frame cannot hold is a
+// forgery, not damage), or trailing bytes after a fully decoded batch.
+// Aliasing and scratch lifetime match ParseRequests.
+func ParseRequestsLenient(body []byte, d *DecodeBuf) (reqs []Request, claimed int, err error) {
+	n, body, err := readU32(body)
+	if err != nil {
+		return nil, 0, err
+	}
+	if int(n) > len(body)/minRequestSize {
+		return nil, 0, errShort
+	}
+	if cap(d.reqs) < int(n) {
+		d.reqs = make([]Request, n)
+	} else {
+		d.reqs = d.reqs[:n]
+	}
+	d.cols = d.cols[:0]
+	d.puts = d.puts[:0]
+	for i := range d.reqs {
+		rest, err := parseRequestAlias(body, &d.reqs[i], d)
+		if err != nil {
+			return d.reqs[:i:i], int(n), nil
+		}
+		body = rest
+	}
+	if len(body) != 0 {
+		return nil, 0, errors.New("wire: trailing request bytes")
+	}
+	return d.reqs, int(n), nil
+}
+
 // parseRequestAlias decodes one request without copying: Key and put Data
 // alias b, Cols/Puts slice into d's arenas. All fields of r are overwritten.
 func parseRequestAlias(b []byte, r *Request, d *DecodeBuf) ([]byte, error) {
@@ -229,7 +315,14 @@ func parseRequestAlias(b []byte, r *Request, d *DecodeBuf) ([]byte, error) {
 			r.N = int(binary.LittleEndian.Uint16(b))
 			b = b[2:]
 		}
-	case OpPut:
+	case OpPut, OpCas:
+		if r.Op == OpCas {
+			if len(b) < 8 {
+				return nil, errShort
+			}
+			r.ExpectVersion = binary.LittleEndian.Uint64(b)
+			b = b[8:]
+		}
 		if len(b) < 1 {
 			return nil, errShort
 		}
@@ -576,7 +669,10 @@ func appendRequest(b []byte, r *Request) []byte {
 		if r.Op == OpGetRange {
 			b = binary.LittleEndian.AppendUint16(b, uint16(r.N))
 		}
-	case OpPut:
+	case OpPut, OpCas:
+		if r.Op == OpCas {
+			b = binary.LittleEndian.AppendUint64(b, r.ExpectVersion)
+		}
 		b = append(b, byte(len(r.Puts)))
 		for _, p := range r.Puts {
 			b = binary.LittleEndian.AppendUint16(b, uint16(p.Col))
@@ -624,7 +720,14 @@ func parseRequest(b []byte, r *Request) ([]byte, error) {
 			r.N = int(binary.LittleEndian.Uint16(b))
 			b = b[2:]
 		}
-	case OpPut:
+	case OpPut, OpCas:
+		if r.Op == OpCas {
+			if len(b) < 8 {
+				return nil, errShort
+			}
+			r.ExpectVersion = binary.LittleEndian.Uint64(b)
+			b = b[8:]
+		}
 		if len(b) < 1 {
 			return nil, errShort
 		}
