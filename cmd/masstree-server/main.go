@@ -6,7 +6,7 @@
 // Usage:
 //
 //	masstree-server -listen :7500 -data /var/lib/masstree -workers 4 \
-//	    -checkpoint-every 5m -sync
+//	    -checkpoint-every 5m -checkpoint-parts 8 -sync
 package main
 
 import (
@@ -31,14 +31,17 @@ func main() {
 		syncWr    = flag.Bool("sync", false, "fsync logs on each group commit")
 		flushMs   = flag.Duration("flush", 200*time.Millisecond, "log flush interval (group commit bound)")
 		ckptEvery = flag.Duration("checkpoint-every", 0, "checkpoint period (0 = manual only)")
+		ckptParts = flag.Int("checkpoint-parts", runtime.GOMAXPROCS(0),
+			"concurrent checkpoint part writers (disjoint key ranges; recovery loads parts in parallel)")
 	)
 	flag.Parse()
 
 	store, err := kvstore.Open(kvstore.Config{
-		Dir:           *data,
-		Workers:       *workers,
-		FlushInterval: *flushMs,
-		SyncWrites:    *syncWr,
+		Dir:             *data,
+		Workers:         *workers,
+		FlushInterval:   *flushMs,
+		SyncWrites:      *syncWr,
+		CheckpointParts: *ckptParts,
 	})
 	if err != nil {
 		log.Fatalf("masstree-server: open store: %v", err)

@@ -28,10 +28,36 @@
 // same border-node lock as the write), giving clients lock-free
 // read-modify-write across the network.
 //
+// Persistence (§5) is parallel end to end. A checkpoint partitions the key
+// space into T disjoint ranges at evenly spaced key ranks and writes T part
+// files concurrently (ckpt-<ts>-partK.ckpt, each with its own CRC footer);
+// a small manifest (ckpt-<ts>.mf) is renamed into place and the directory
+// fsynced as the commit point, and only then is older log and checkpoint
+// state reclaimed. Recovery runs the same pipeline backwards: parts load
+// concurrently with chunked batched tree inserts, log files parse
+// one-goroutine-per-file, and replay partitions keys across cores.
+// Checkpoint start synchronizes the per-worker clocks and drains the
+// draw-to-append windows, so replay can prove every record at or below the
+// checkpoint timestamp redundant and skip it (replaying one could resurrect
+// a key whose remove only the checkpoint remembers).
+//
+// Everything under wal and checkpoint reaches the disk through internal/vfs,
+// an injectable filesystem seam. vfs.MemFS models crash consistency the way
+// a conservative POSIX filesystem behaves (unsynced file data is lost;
+// directory operations are volatile — and may survive in any subset — until
+// the directory is fsynced), and vfs.Fault numbers every write, fsync,
+// rename, create, and dir-sync as a crash boundary. The torture tests in
+// internal/kvstore enumerate those boundaries during a put/checkpoint/put
+// workload, kill the store at each one, recover from several legal crash
+// images, and check the result against a model of acknowledged writes — no
+// lost acks, no resurrections, exact per-key versions. New crash scenarios
+// are written the same way: build a store on a Fault-wrapped MemFS, arm
+// CrashAt(n), Crash(keep) into a disk image, reopen, and assert.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
 // results. The implementation lives under internal/; runnable entry points
 // are under cmd/ and examples/ (examples/pipeline demonstrates the async
-// client and CAS). BENCH_pipeline.json, BENCH_writepath.json, and
-// BENCH_pipeline_v2.json record the read-path, write-path, and pipelining
-// numbers.
+// client and CAS). BENCH_pipeline.json, BENCH_writepath.json,
+// BENCH_pipeline_v2.json, and BENCH_recovery.json record the read-path,
+// write-path, pipelining, and restart numbers.
 package repro

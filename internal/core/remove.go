@@ -69,6 +69,12 @@ restart:
 		if fn != nil {
 			fn(old)
 		}
+		// Dirty the version before unlinking (§4.6.5): a concurrent reader
+		// or scanner that snapshotted the permutation while this key was
+		// live must fail its version validation and retry, or it would
+		// return (or checkpoint!) a key that no longer exists. The unlock
+		// increments vinsert, so post-remove validations fail too.
+		n.h.markInserting()
 		np := perm.remove(rank)
 		n.permutation.Store(uint64(np))
 		t.count.Add(-1)

@@ -1,0 +1,190 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/value"
+	"repro/internal/vfs"
+	"repro/internal/wal"
+)
+
+// Regression tests for the directory-fsync bugs: checkpoint.Write used to
+// fsync the checkpoint file but never the directory after the rename, and
+// the wal never fsynced the directory after creating a log file. A crash
+// could then remember the log reclamation that followed a checkpoint while
+// forgetting the checkpoint itself — losing acknowledged writes.
+
+func openTortureStore(t *testing.T, fsys vfs.FS) *Store {
+	t.Helper()
+	s, err := Open(Config{
+		Dir: tortureDir, Workers: 1, FS: fsys, SyncWrites: true,
+		FlushInterval: time.Hour, MaintainEvery: -1, CheckpointParts: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// checkpointThenCrash acks one write, checkpoints (which reclaims the log
+// that held it), and crashes keeping only the pending remove ops — the
+// adversarial but POSIX-legal image where reclamation persisted and
+// nothing else did.
+func checkpointThenCrash(t *testing.T, mem *vfs.MemFS, fsys vfs.FS) *vfs.MemFS {
+	t.Helper()
+	s := openTortureStore(t, fsys)
+	s.PutSimple(0, []byte("precious"), []byte("acked"))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The flush was synced: the write is acknowledged as durable.
+	if _, _, err := s.CheckpointN(1); err != nil {
+		t.Fatal(err)
+	}
+	img := mem.Clone()
+	img.Crash(func(op vfs.DirOp) bool { return op.Kind == vfs.DirRemove })
+	s.Close()
+	return img
+}
+
+// TestLostCheckpointWithoutDirSync proves the pre-fix scenario: with
+// directory fsyncs elided (vfs.Fault.SkipDirSyncs — exactly what the code
+// did before it issued any), the checkpoint rename and the log file
+// creation are volatile while the log removal persists, and the
+// acknowledged write is gone after recovery.
+func TestLostCheckpointWithoutDirSync(t *testing.T) {
+	mem := vfs.NewMemFS()
+	fault := vfs.NewFault(mem)
+	fault.SkipDirSyncs = true
+	img := checkpointThenCrash(t, mem, fault)
+
+	r := openTortureStore(t, img)
+	defer r.Close()
+	if _, ok := r.Get([]byte("precious"), nil); ok {
+		t.Fatal("write survived without dir syncs — the lost-checkpoint scenario no longer reproduces, " +
+			"so this regression test has lost its teeth")
+	}
+}
+
+// TestCheckpointSurvivesDirSyncedCrash is the post-fix half: the same
+// sequence on a filesystem with working directory fsyncs keeps the
+// acknowledged write under every crash image, because the checkpoint
+// commit (rename + dir sync) is ordered before log reclamation.
+func TestCheckpointSurvivesDirSyncedCrash(t *testing.T) {
+	mem := vfs.NewMemFS()
+	img := checkpointThenCrash(t, mem, mem)
+
+	r := openTortureStore(t, img)
+	defer r.Close()
+	if got, ok := r.Get([]byte("precious"), nil); !ok || string(got[0]) != "acked" {
+		t.Fatalf("acknowledged write lost across checkpoint+crash: %q, %v", got, ok)
+	}
+}
+
+// TestCheckpointLeavesNothingPending asserts the commit-point invariant
+// directly: once Checkpoint returns, no directory operation is volatile —
+// the checkpoint (part and manifest renames) and the new log generation
+// were dir-synced at the commit point, and the reclamation removes were
+// dir-synced after it, so no crash image can differ from the steady state.
+func TestCheckpointLeavesNothingPending(t *testing.T) {
+	mem := vfs.NewMemFS()
+	s := openTortureStore(t, mem)
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		s.PutSimple(0, []byte{byte('a' + i)}, []byte("v"))
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.CheckpointN(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range mem.PendingOps() {
+		t.Errorf("volatile %s of %s after checkpoint returned", op.Kind, op.Name)
+	}
+}
+
+// TestResurrectedOldLogDoesNotDragCutoff: a checkpoint's reclamation
+// removes are volatile directory ops until synced, so a crash can bring a
+// pre-checkpoint log generation back from the dead. Its stale timestamps
+// must not constrain the recovery cutoff — otherwise an idle worker's
+// resurrected log (max ts far below the checkpoint) would discard every
+// busier log's durable post-checkpoint tail.
+func TestResurrectedOldLogDoesNotDragCutoff(t *testing.T) {
+	mem := vfs.NewMemFS()
+	s, err := Open(Config{
+		Dir: tortureDir, Workers: 2, FS: mem, SyncWrites: true,
+		FlushInterval: time.Hour, MaintainEvery: -1, CheckpointParts: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PutSimple(1, []byte("idle-worker-key"), []byte("old")) // worker 1 then goes idle
+	for i := 0; i < 5; i++ {
+		s.PutSimple(0, []byte(fmt.Sprintf("busy%02d", i)), []byte("pre"))
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Acked post-checkpoint tail on worker 0 only; worker 1 logs nothing.
+	for i := 0; i < 5; i++ {
+		s.PutSimple(0, []byte(fmt.Sprintf("busy%02d", i)), []byte("post"))
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the resurrection: recreate worker 1's generation-1 log
+	// holding only its stale pre-checkpoint record, exactly as a crash
+	// image that forgot the reclamation remove would contain.
+	old, err := wal.OpenSetFS(mem, tortureDir, 2, 1, true, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old.Writer(1).AppendPut(1, []byte("idle-worker-key"), []value.ColPut{{Col: 0, Data: []byte("old")}})
+	if err := old.Close(); err != nil {
+		t.Fatal(err)
+	}
+	crash(t, s)
+
+	rec, err := Open(Config{Dir: tortureDir, Workers: 2, FS: mem, MaintainEvery: -1, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	for i := 0; i < 5; i++ {
+		got, ok := rec.Get([]byte(fmt.Sprintf("busy%02d", i)), nil)
+		if !ok || string(got[0]) != "post" {
+			t.Fatalf("busy%02d = %q,%v; resurrected idle log dragged the cutoff below the acked tail", i, got, ok)
+		}
+	}
+	if got, ok := rec.Get([]byte("idle-worker-key"), nil); !ok || string(got[0]) != "old" {
+		t.Fatalf("idle-worker-key = %q,%v", got, ok)
+	}
+}
+
+// TestAckedFlushSurvivesConservativeCrash: the wal half of the fix. A
+// synced flush into a freshly created log file must survive the most
+// conservative crash image (no pending directory op persisted) — which it
+// only does because log creation dir-syncs before anything is logged.
+func TestAckedFlushSurvivesConservativeCrash(t *testing.T) {
+	mem := vfs.NewMemFS()
+	s := openTortureStore(t, mem)
+	s.PutSimple(0, []byte("k"), []byte("v"))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	img := mem.Clone()
+	img.Crash(nil)
+	s.Close()
+
+	r := openTortureStore(t, img)
+	defer r.Close()
+	if _, ok := r.Get([]byte("k"), nil); !ok {
+		t.Fatal("synced flush lost: log file creation was not made durable")
+	}
+}

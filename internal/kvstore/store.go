@@ -26,15 +26,20 @@
 package kvstore
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
-	"os"
+	"path/filepath"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/epoch"
 	"repro/internal/value"
+	"repro/internal/vfs"
 	"repro/internal/wal"
 )
 
@@ -54,6 +59,16 @@ type Config struct {
 	// MaintainEvery is the epoch-advance and tree-maintenance period.
 	// Defaults to 50 ms; 0 uses the default, negative disables.
 	MaintainEvery time.Duration
+	// CheckpointParts is how many concurrent part writers a checkpoint
+	// uses — the key space is partitioned into that many disjoint ranges,
+	// written as one part file each (§5: checkpoints are taken by multiple
+	// threads over subranges), and recovery loads the parts concurrently.
+	// 0 defaults to GOMAXPROCS; 1 writes a single part.
+	CheckpointParts int
+	// FS is the filesystem seam for logs and checkpoints. Nil means the
+	// real filesystem; tests inject vfs.MemFS/vfs.Fault to model crashes
+	// at every write/fsync/rename boundary.
+	FS vfs.FS
 }
 
 // Pair is one key plus requested columns, returned by GetRange.
@@ -66,6 +81,7 @@ type Pair struct {
 // All methods are safe for concurrent use.
 type Store struct {
 	cfg   Config
+	fsys  vfs.FS
 	tree  *core.Tree
 	clock *shardedClock
 	logs  *wal.Set // nil when persistence is disabled
@@ -100,13 +116,17 @@ func Open(cfg Config) (*Store, error) {
 	}
 	s := &Store{
 		cfg:      cfg,
+		fsys:     cfg.FS,
 		tree:     core.New(),
 		clock:    newShardedClock(cfg.Workers),
 		workerMu: make([]paddedMutex, cfg.Workers),
 		stop:     make(chan struct{}),
 	}
+	if s.fsys == nil {
+		s.fsys = vfs.OS{}
+	}
 	if cfg.Dir != "" {
-		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		if err := s.fsys.MkdirAll(cfg.Dir, 0o755); err != nil {
 			return nil, err
 		}
 		if err := s.recover(); err != nil {
@@ -120,25 +140,39 @@ func Open(cfg Config) (*Store, error) {
 	return s, nil
 }
 
-// recover loads the latest valid checkpoint, replays the logs beyond it,
-// restores the clock, and opens a fresh log generation (never appending to a
-// file that may end in a torn record).
+// recover loads the latest valid checkpoint — all parts concurrently, each
+// batch-inserted so runs of adjacent keys share one border-node lock
+// acquisition — then replays the logs beyond it in parallel, restores the
+// clock, and opens a fresh log generation (never appending to a file that
+// may end in a torn record).
 func (s *Store) recover() error {
-	maxVersion := uint64(0)
-	ckptTS, err := checkpoint.LoadLatest(s.cfg.Dir, func(e checkpoint.Entry) {
-		s.tree.Put(e.Key, e.Value)
-		if e.Value.Version() > maxVersion {
-			maxVersion = e.Value.Version()
-		}
-	})
+	var maxVersion atomic.Uint64
+	ckptTS, fromManifest, err := s.loadCheckpoint(&maxVersion)
 	if err != nil && err != checkpoint.ErrNone {
 		return fmt.Errorf("kvstore: loading checkpoint: %w", err)
 	}
-	res, err := wal.RecoverDir(s.cfg.Dir)
+	// Only manifest-format checkpoints were written under CheckpointN's
+	// synchronize-and-drain protocol, the precondition for treating every
+	// record at or below the checkpoint timestamp as fully reflected in
+	// it. For those, records <= ckptTS are excluded from replay AND from
+	// the cutoff computation: replaying one could resurrect a key whose
+	// remove only the checkpoint remembers (absence cannot version-guard),
+	// and letting a crash-resurrected old-generation log constrain the
+	// cutoff with pre-checkpoint timestamps would discard the durable
+	// post-checkpoint tail of busier logs. A legacy single-file checkpoint
+	// (an earlier incarnation's data) gives no such guarantee — a lagging
+	// clock shard could have issued ts <= ckptTS for a write the fuzzy
+	// scan missed — so for those everything replays under the version
+	// guard, as before.
+	replayCut := uint64(0)
+	if fromManifest {
+		replayCut = ckptTS
+	}
+	res, err := wal.RecoverDirAboveFS(s.fsys, s.cfg.Dir, replayCut)
 	if err != nil {
 		return fmt.Errorf("kvstore: scanning logs: %w", err)
 	}
-	res.Replay(4, func(r wal.Record) {
+	res.Replay(max(4, runtime.GOMAXPROCS(0)), func(r wal.Record) {
 		switch r.Op {
 		case wal.OpPut:
 			s.tree.Update(r.Key, func(old *value.Value) *value.Value {
@@ -161,19 +195,86 @@ func (s *Store) recover() error {
 	// could carry a lower start timestamp than a surviving older one and
 	// LoadLatest would restore the stale state.
 	clock := res.MaxTS
-	if maxVersion > clock {
-		clock = maxVersion
+	if mv := maxVersion.Load(); mv > clock {
+		clock = mv
 	}
 	if ckptTS > clock {
 		clock = ckptTS
 	}
 	s.clock.seed(clock)
-	logs, err := wal.OpenSet(s.cfg.Dir, s.cfg.Workers, res.MaxGen+1, s.cfg.SyncWrites, s.cfg.FlushInterval)
+	logs, err := wal.OpenSetFS(s.fsys, s.cfg.Dir, s.cfg.Workers, res.MaxGen+1, s.cfg.SyncWrites, s.cfg.FlushInterval)
 	if err != nil {
 		return err
 	}
 	s.logs = logs
 	return nil
+}
+
+// loadCheckpoint finds the newest fully valid checkpoint and loads its
+// parts concurrently, one goroutine per part. Parts cover disjoint key
+// ranges, so the inserts never contend on a key; the version guard keeps
+// the load idempotent against anything else in the tree. fromManifest
+// reports whether the loaded checkpoint was the manifest (multi-part)
+// format, i.e. written by CheckpointN's synchronize-and-drain protocol.
+func (s *Store) loadCheckpoint(maxVersion *atomic.Uint64) (ts uint64, fromManifest bool, err error) {
+	infos, err := checkpoint.ListFS(s.fsys, s.cfg.Dir)
+	if err != nil {
+		return 0, false, err
+	}
+	for i := len(infos) - 1; i >= 0; i-- {
+		ts, parts, err := checkpoint.Read(s.fsys, infos[i])
+		if err != nil {
+			if errors.Is(err, checkpoint.ErrCorrupt) {
+				continue // torn or damaged: fall back to an older checkpoint
+			}
+			return 0, false, err
+		}
+		var wg sync.WaitGroup
+		for _, es := range parts {
+			wg.Add(1)
+			go func(es []checkpoint.Entry) {
+				defer wg.Done()
+				s.insertCheckpointPart(es, maxVersion)
+			}(es)
+		}
+		wg.Wait()
+		return ts, infos[i].Parts != 0, nil
+	}
+	return 0, false, checkpoint.ErrNone
+}
+
+// insertCheckpointPart inserts one part's entries in batched chunks:
+// entries arrive in key order, so PutBatchInto applies whole runs of
+// adjacent keys under a single border-node lock acquisition instead of one
+// full descent per key.
+func (s *Store) insertCheckpointPart(es []checkpoint.Entry, maxVersion *atomic.Uint64) {
+	const chunk = 256
+	var sc core.BatchScratch
+	keys := make([][]byte, 0, chunk)
+	localMax := uint64(0)
+	for base := 0; base < len(es); base += chunk {
+		end := min(base+chunk, len(es))
+		keys = keys[:0]
+		for _, e := range es[base:end] {
+			keys = append(keys, e.Key)
+		}
+		s.tree.PutBatchInto(keys, &sc, func(i int, old *value.Value) *value.Value {
+			e := es[base+i]
+			if v := e.Value.Version(); v > localMax {
+				localMax = v
+			}
+			if old != nil && old.Version() >= e.Value.Version() {
+				return nil // already reflected; decline
+			}
+			return e.Value
+		})
+	}
+	for {
+		cur := maxVersion.Load()
+		if localMax <= cur || maxVersion.CompareAndSwap(cur, localMax) {
+			return
+		}
+	}
 }
 
 func (s *Store) maintainLoop() {
@@ -551,52 +652,131 @@ func (s *Store) GetRangeInto(start []byte, n int, cols []int, sc *RangeScratch) 
 
 // Checkpoint writes a checkpoint of all keys and values, then reclaims log
 // space and older checkpoints (§5). It runs in parallel with request
-// processing.
+// processing, with cfg.CheckpointParts concurrent part writers.
 func (s *Store) Checkpoint() (path string, n int, err error) {
+	return s.CheckpointN(s.cfg.CheckpointParts)
+}
+
+// CheckpointN is Checkpoint with an explicit part count: the key space is
+// partitioned into parts disjoint ranges at evenly spaced key ranks, each
+// range is scanned and written concurrently to its own part file (§5's
+// multi-threaded checkpoint), and the manifest commits them atomically.
+// The scans are fuzzy — they run in parallel with request processing over
+// the tree's immutable values — and log replay repairs whatever they miss.
+// parts <= 0 uses GOMAXPROCS. Returns the manifest path.
+func (s *Store) CheckpointN(parts int) (path string, n int, err error) {
 	if s.cfg.Dir == "" {
 		return "", 0, fmt.Errorf("kvstore: checkpointing requires a persistence directory")
 	}
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
+	if parts <= 0 {
+		parts = runtime.GOMAXPROCS(0)
+	}
+	if parts > checkpoint.MaxParts {
+		// Clamp before partitioning: the bounds and the part files must
+		// agree on the count, or keys past the last written part's end
+		// bound would silently vanish from the checkpoint.
+		parts = checkpoint.MaxParts
+	}
 
 	gen, err := s.logs.Rotate()
 	if err != nil {
 		return "", 0, err
 	}
-	startTS := s.clock.max()
-
-	// Stream the tree through a channel so the scan goroutine and the file
-	// writer overlap; values are immutable so the dump is a consistent
-	// fuzzy snapshot that log replay repairs.
-	type kv struct {
-		k []byte
-		v *value.Value
+	// Synchronize (not just read) the worker clocks, then drain every
+	// worker's draw-to-append window by bouncing through its mutex. After
+	// the barrier, (a) any write with a version <= startTS has fully
+	// applied and appended — its tree effect is visible to the scans below
+	// and its log record sits in a position the checkpoint supersedes —
+	// and (b) any write the scans can miss (applied after a scan read its
+	// node) must draw from a lifted clock, giving it a version > startTS
+	// in a retained log generation. Recovery exploits the dichotomy:
+	// replay skips records with ts <= startTS outright, because replaying
+	// them could resurrect state (a stale put whose superseding remove is
+	// only recorded by the checkpoint as absence has nothing to
+	// version-guard against), while everything above startTS replays
+	// normally.
+	startTS := s.clock.synchronize()
+	for w := range s.workerMu {
+		mu := &s.workerMu[w]
+		mu.Lock()
+		//lint:ignore SA2001 empty critical section is the barrier
+		mu.Unlock()
 	}
-	ch := make(chan kv, 1024)
-	go func() {
-		s.tree.Scan(nil, func(k []byte, v *value.Value) bool {
-			ch <- kv{k, v}
+
+	bounds := s.partitionBounds(parts)
+	parts = len(bounds) + 1
+	n, err = checkpoint.WriteParts(s.fsys, s.cfg.Dir, startTS, parts, func(k int, emit func(checkpoint.Entry) error) error {
+		var start, end []byte
+		if k > 0 {
+			start = bounds[k-1]
+		}
+		if k < len(bounds) {
+			end = bounds[k]
+		}
+		var emitErr error
+		buf := make([]byte, 0, 64)
+		s.tree.ScanInto(start, buf, func(key []byte, v *value.Value) bool {
+			if end != nil && bytes.Compare(key, end) >= 0 {
+				return false // next part's range
+			}
+			if err := emit(checkpoint.Entry{Key: key, Value: v}); err != nil {
+				emitErr = err
+				return false
+			}
 			return true
 		})
-		close(ch)
-	}()
-	path, n, err = checkpoint.Write(s.cfg.Dir, startTS, func() (checkpoint.Entry, bool) {
-		e, ok := <-ch
-		if !ok {
-			return checkpoint.Entry{}, false
-		}
-		return checkpoint.Entry{Key: e.k, Value: e.v}, true
+		return emitErr
 	})
 	if err != nil {
 		return "", 0, err
 	}
-	if err := checkpoint.Drop(s.cfg.Dir, startTS); err != nil {
+	path = filepath.Join(s.cfg.Dir, checkpoint.ManifestName(startTS))
+	// The WriteParts directory sync above is the commit point; only now is
+	// it safe to reclaim the state the new checkpoint supersedes.
+	if err := checkpoint.DropFS(s.fsys, s.cfg.Dir, startTS); err != nil {
 		return path, n, err
 	}
 	if err := s.logs.DropBefore(gen); err != nil {
 		return path, n, err
 	}
+	// Make the reclamation removes durable too. Recovery tolerates a
+	// resurrected old log (its pre-checkpoint records neither replay nor
+	// constrain the cutoff, see recover), but leaving the removes volatile
+	// for the whole inter-checkpoint interval costs disk space across
+	// crashes for no benefit.
+	if err := s.fsys.SyncDir(s.cfg.Dir); err != nil {
+		return path, n, err
+	}
 	return path, n, nil
+}
+
+// partitionBounds samples parts-1 keys at evenly spaced ranks, splitting
+// the key space into contiguous ranges of roughly equal population. The
+// sampling scan is fuzzy (concurrent writes shift ranks harmlessly): all
+// that matters is that the bounds are strictly increasing, which a single
+// ordered scan guarantees, so the ranges are disjoint and cover everything.
+func (s *Store) partitionBounds(parts int) [][]byte {
+	n := s.tree.Len()
+	if parts <= 1 || n < 2*parts {
+		return nil
+	}
+	bounds := make([][]byte, 0, parts-1)
+	stride := n / parts
+	i, next := 0, stride
+	s.tree.ScanInto(nil, make([]byte, 0, 64), func(k []byte, _ *value.Value) bool {
+		if i == next {
+			bounds = append(bounds, append([]byte(nil), k...))
+			next += stride
+			if len(bounds) == parts-1 {
+				return false
+			}
+		}
+		i++
+		return true
+	})
+	return bounds
 }
 
 // Flush forces buffered log records to the operating system (and to storage

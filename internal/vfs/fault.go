@@ -1,0 +1,206 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sync"
+)
+
+// ErrCrashed is returned by every operation once the injector's crash
+// boundary has been hit: the simulated process is dead and nothing further
+// reaches the disk.
+var ErrCrashed = errors.New("vfs: injected crash")
+
+// Fault wraps an FS and numbers every mutating operation — file create,
+// write, fsync, rename, remove, dir-sync — as a crash boundary. Arming
+// CrashAt(n) makes the n-th boundary (1-based) fail with ErrCrashed without
+// reaching the inner filesystem, and latches the injector so all subsequent
+// operations (reads included) fail too. A disarmed Fault (CrashAt(0)) just
+// counts, which is how a torture test enumerates the boundaries of a
+// workload before replaying it with a crash at each one.
+type Fault struct {
+	inner FS
+
+	// SkipDirSyncs models a filesystem (or code path) where directory
+	// fsyncs do nothing: the boundary is still counted, the inner SyncDir
+	// is never called. Used to demonstrate lost-rename crash scenarios.
+	SkipDirSyncs bool
+
+	mu      sync.Mutex
+	ops     int
+	crashAt int
+	crashed bool
+	trace   []string
+}
+
+// NewFault wraps inner with a disarmed injector.
+func NewFault(inner FS) *Fault { return &Fault{inner: inner} }
+
+// CrashAt arms the injector to crash at the n-th mutating boundary from
+// now (n <= 0 disarms). The operation counter is reset.
+func (f *Fault) CrashAt(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops = 0
+	f.crashAt = n
+	f.crashed = false
+	f.trace = f.trace[:0]
+}
+
+// Ops returns how many mutating boundaries have executed since CrashAt.
+func (f *Fault) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the crash boundary has been hit.
+func (f *Fault) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Trace returns descriptions of the boundaries executed since CrashAt
+// (the crashing boundary last).
+func (f *Fault) Trace() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.trace...)
+}
+
+// boundary counts one mutating operation and decides whether it crashes.
+func (f *Fault) boundary(desc string, args ...any) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	f.ops++
+	f.trace = append(f.trace, fmt.Sprintf(desc, args...))
+	if f.crashAt > 0 && f.ops == f.crashAt {
+		f.crashed = true
+		return ErrCrashed
+	}
+	return nil
+}
+
+// dead reports whether the simulated process has crashed (used by reads,
+// which are not boundaries but must still fail after the crash).
+func (f *Fault) dead() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (f *Fault) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if flag&osCreate != 0 {
+		if err := f.boundary("open-create %s", name); err != nil {
+			return nil, err
+		}
+	} else if err := f.dead(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, inner: inner}, nil
+}
+
+func (f *Fault) CreateTemp(dir, pattern string) (File, error) {
+	if err := f.boundary("create-temp %s/%s", dir, pattern); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, inner: inner}, nil
+}
+
+func (f *Fault) Rename(oldpath, newpath string) error {
+	if err := f.boundary("rename %s -> %s", oldpath, newpath); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *Fault) Remove(name string) error {
+	if err := f.boundary("remove %s", name); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *Fault) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *Fault) ReadFile(name string) ([]byte, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *Fault) MkdirAll(path string, perm fs.FileMode) error {
+	if err := f.boundary("mkdir %s", path); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *Fault) SyncDir(name string) error {
+	if err := f.boundary("syncdir %s", name); err != nil {
+		return err
+	}
+	if f.SkipDirSyncs {
+		return nil
+	}
+	return f.inner.SyncDir(name)
+}
+
+type faultFile struct {
+	f     *Fault
+	inner File
+}
+
+func (h *faultFile) Write(p []byte) (int, error) {
+	if err := h.f.boundary("write %s (%d bytes)", h.inner.Name(), len(p)); err != nil {
+		return 0, err
+	}
+	return h.inner.Write(p)
+}
+
+func (h *faultFile) Sync() error {
+	if err := h.f.boundary("sync %s", h.inner.Name()); err != nil {
+		return err
+	}
+	return h.inner.Sync()
+}
+
+func (h *faultFile) Close() error {
+	// Closing is not a durability boundary (it neither writes nor syncs),
+	// but a dead process cannot close files either.
+	if err := h.f.dead(); err != nil {
+		return err
+	}
+	return h.inner.Close()
+}
+
+func (h *faultFile) Name() string { return h.inner.Name() }
+
+func (h *faultFile) Size() (int64, error) {
+	if err := h.f.dead(); err != nil {
+		return 0, err
+	}
+	return h.inner.Size()
+}

@@ -1,0 +1,11 @@
+package vfs
+
+import "os"
+
+// Open flags the persistence layer uses, aliased so MemFS and Fault can
+// interpret the same values OS passes to os.OpenFile.
+const (
+	osCreate = os.O_CREATE
+	osExcl   = os.O_EXCL
+	osTrunc  = os.O_TRUNC
+)

@@ -1,0 +1,382 @@
+package vfs
+
+import (
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DirOpKind classifies a volatile directory operation.
+type DirOpKind uint8
+
+const (
+	// DirCreate is a file creation (OpenFile with O_CREATE, CreateTemp).
+	DirCreate DirOpKind = iota + 1
+	// DirRename is an atomic rename within one directory.
+	DirRename
+	// DirRemove is a file removal.
+	DirRemove
+)
+
+func (k DirOpKind) String() string {
+	switch k {
+	case DirCreate:
+		return "create"
+	case DirRename:
+		return "rename"
+	case DirRemove:
+		return "remove"
+	}
+	return "unknown"
+}
+
+// DirOp is one directory operation that has happened in the volatile
+// namespace but is not yet durable (its directory has not been synced).
+// Crash predicates select which pending operations a simulated crash
+// persists — any subset is a legal POSIX outcome.
+type DirOp struct {
+	Kind DirOpKind
+	// Name is the affected entry's full path (the new path for renames).
+	Name string
+	// Old is the renamed-from path; empty otherwise.
+	Old  string
+	file *memFile
+}
+
+// memFile is one file: volatile contents plus the contents as of the last
+// Sync. The object is the "inode" — renames move it between names without
+// touching content durability.
+type memFile struct {
+	data    []byte // volatile contents
+	durable []byte // contents at last Sync; nil if never synced
+	synced  bool
+}
+
+type memDir struct {
+	durable map[string]*memFile // entry name -> file, as of last SyncDir
+	pending []DirOp             // volatile ops since, in order
+}
+
+// MemFS is the crash-modeling in-memory filesystem. All methods are safe
+// for concurrent use. See the package comment for the durability model.
+type MemFS struct {
+	mu       sync.Mutex
+	files    map[string]*memFile // volatile namespace
+	dirs     map[string]*memDir
+	tempSeq  int
+	crashGen int // bumped by Crash; outstanding handles go stale
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: map[string]*memFile{}, dirs: map[string]*memDir{}}
+}
+
+func (m *MemFS) dirOf(name string) (*memDir, error) {
+	d, ok := m.dirs[filepath.Dir(name)]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	return d, nil
+}
+
+func (m *MemFS) MkdirAll(path string, perm fs.FileMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	path = filepath.Clean(path)
+	for p := path; ; p = filepath.Dir(p) {
+		if m.dirs[p] == nil {
+			m.dirs[p] = &memDir{durable: map[string]*memFile{}}
+		}
+		if parent := filepath.Dir(p); parent == p {
+			break
+		}
+	}
+	return nil
+}
+
+func (m *MemFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	d, err := m.dirOf(name)
+	if err != nil {
+		return nil, err
+	}
+	f, exists := m.files[name]
+	switch {
+	case !exists && flag&osCreate == 0:
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	case exists && flag&osExcl != 0:
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrExist}
+	case !exists:
+		f = &memFile{}
+		m.files[name] = f
+		d.pending = append(d.pending, DirOp{Kind: DirCreate, Name: name, file: f})
+	case flag&osTrunc != 0:
+		f.data = nil
+	}
+	return &memHandle{fs: m, f: f, name: name, gen: m.crashGen}, nil
+}
+
+func (m *MemFS) CreateTemp(dir, pattern string) (File, error) {
+	m.mu.Lock()
+	seq := m.tempSeq
+	m.tempSeq++
+	m.mu.Unlock()
+	name := filepath.Join(dir, strings.Replace(pattern, "*", fmt.Sprintf("%09d", seq), 1))
+	return m.OpenFile(name, osCreate|osExcl, 0o600)
+}
+
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
+	if filepath.Dir(oldpath) != filepath.Dir(newpath) {
+		return fmt.Errorf("vfs: cross-directory rename %q -> %q unsupported", oldpath, newpath)
+	}
+	d, err := m.dirOf(oldpath)
+	if err != nil {
+		return err
+	}
+	f, ok := m.files[oldpath]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	delete(m.files, oldpath)
+	m.files[newpath] = f
+	d.pending = append(d.pending, DirOp{Kind: DirRename, Name: newpath, Old: oldpath, file: f})
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	d, err := m.dirOf(name)
+	if err != nil {
+		return err
+	}
+	f, ok := m.files[name]
+	if !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.files, name)
+	d.pending = append(d.pending, DirOp{Kind: DirRemove, Name: name, file: f})
+	return nil
+}
+
+func (m *MemFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	if m.dirs[name] == nil {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: fs.ErrNotExist}
+	}
+	var out []fs.DirEntry
+	for p, f := range m.files {
+		if filepath.Dir(p) == name {
+			out = append(out, memDirEntry{name: filepath.Base(p), size: int64(len(f.data))})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out, nil
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[filepath.Clean(name)]
+	if !ok {
+		return nil, &fs.PathError{Op: "read", Path: name, Err: fs.ErrNotExist}
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// SyncDir makes the directory's pending operations durable, in order.
+func (m *MemFS) SyncDir(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := m.dirs[filepath.Clean(name)]
+	if d == nil {
+		return &fs.PathError{Op: "syncdir", Path: name, Err: fs.ErrNotExist}
+	}
+	for _, op := range d.pending {
+		applyDirOp(d.durable, op)
+	}
+	d.pending = nil
+	return nil
+}
+
+func applyDirOp(durable map[string]*memFile, op DirOp) {
+	switch op.Kind {
+	case DirCreate:
+		durable[filepath.Base(op.Name)] = op.file
+	case DirRename:
+		delete(durable, filepath.Base(op.Old))
+		durable[filepath.Base(op.Name)] = op.file
+	case DirRemove:
+		delete(durable, filepath.Base(op.Name))
+	}
+}
+
+// PendingOps returns all directories' un-synced operations (debugging and
+// assertions that a commit point left nothing at risk).
+func (m *MemFS) PendingOps() []DirOp {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []DirOp
+	for _, d := range m.dirs {
+		out = append(out, d.pending...)
+	}
+	return out
+}
+
+// Crash simulates a power failure: un-synced file data is dropped and, of
+// the pending directory operations, exactly those keep selects survive
+// (applied in original order; keep == nil keeps none — the most
+// conservative image; KeepAll keeps all). Outstanding handles go stale and
+// fail all further operations. The filesystem then holds the post-crash
+// disk image, ready to be recovered from.
+func (m *MemFS) Crash(keep func(DirOp) bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashGen++
+	files := map[string]*memFile{}
+	for path, d := range m.dirs {
+		for _, op := range d.pending {
+			if keep != nil && keep(op) {
+				applyDirOp(d.durable, op)
+			}
+		}
+		d.pending = nil
+		for base, f := range d.durable {
+			// Durable content only; never-synced files survive empty.
+			f.data = append([]byte(nil), f.durable...)
+			files[filepath.Join(path, base)] = f
+		}
+	}
+	m.files = files
+}
+
+// KeepAll is a Crash predicate persisting every pending directory op.
+func KeepAll(DirOp) bool { return true }
+
+// Clone deep-copies the filesystem, so one pre-crash state can yield
+// several different crash images.
+func (m *MemFS) Clone() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := &MemFS{files: map[string]*memFile{}, dirs: map[string]*memDir{}, tempSeq: m.tempSeq}
+	copies := map[*memFile]*memFile{}
+	cp := func(f *memFile) *memFile {
+		if f == nil {
+			return nil
+		}
+		if n, ok := copies[f]; ok {
+			return n
+		}
+		n := &memFile{
+			data:    append([]byte(nil), f.data...),
+			durable: append([]byte(nil), f.durable...),
+			synced:  f.synced,
+		}
+		copies[f] = n
+		return n
+	}
+	for p, f := range m.files {
+		c.files[p] = cp(f)
+	}
+	for p, d := range m.dirs {
+		nd := &memDir{durable: map[string]*memFile{}}
+		for base, f := range d.durable {
+			nd.durable[base] = cp(f)
+		}
+		for _, op := range d.pending {
+			op.file = cp(op.file)
+			nd.pending = append(nd.pending, op)
+		}
+		c.dirs[p] = nd
+	}
+	return c
+}
+
+type memHandle struct {
+	fs     *MemFS
+	f      *memFile
+	name   string
+	gen    int
+	closed bool
+}
+
+func (h *memHandle) stale() error {
+	if h.closed {
+		return fs.ErrClosed
+	}
+	if h.gen != h.fs.crashGen {
+		return fmt.Errorf("vfs: handle %s stale after crash", h.name)
+	}
+	return nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.stale(); err != nil {
+		return 0, err
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.stale(); err != nil {
+		return err
+	}
+	h.f.durable = append(h.f.durable[:0], h.f.data...)
+	h.f.synced = true
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}
+
+func (h *memHandle) Name() string { return h.name }
+
+func (h *memHandle) Size() (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.stale(); err != nil {
+		return 0, err
+	}
+	return int64(len(h.f.data)), nil
+}
+
+type memDirEntry struct {
+	name string
+	size int64
+}
+
+func (e memDirEntry) Name() string               { return e.name }
+func (e memDirEntry) IsDir() bool                { return false }
+func (e memDirEntry) Type() fs.FileMode          { return 0 }
+func (e memDirEntry) Info() (fs.FileInfo, error) { return memFileInfo{e}, nil }
+
+type memFileInfo struct{ e memDirEntry }
+
+func (i memFileInfo) Name() string       { return i.e.name }
+func (i memFileInfo) Size() int64        { return i.e.size }
+func (i memFileInfo) Mode() fs.FileMode  { return 0o644 }
+func (i memFileInfo) ModTime() time.Time { return time.Time{} }
+func (i memFileInfo) IsDir() bool        { return false }
+func (i memFileInfo) Sys() any           { return nil }

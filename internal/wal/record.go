@@ -145,8 +145,20 @@ func parseRecord(b []byte) (Record, int) {
 // parseLog decodes all complete records from a log file's contents
 // (including the file header). It stops silently at the first torn or
 // corrupt record, which recovery treats as the end of the durable log.
+//
+// A file holding only a (possibly torn) prefix of the header magic parses
+// as an empty log: a crash right after log creation can leave the
+// directory entry durable with none of the file's bytes — that worker
+// durably logged nothing, which must not brick recovery. Bytes that
+// contradict the magic still report corruption.
 func parseLog(b []byte) ([]Record, error) {
-	if len(b) < len(fileMagic) || string(b[:len(fileMagic)]) != string(fileMagic) {
+	if len(b) < len(fileMagic) {
+		if string(b) == string(fileMagic[:len(b)]) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("%w: bad file magic", ErrCorrupt)
+	}
+	if string(b[:len(fileMagic)]) != string(fileMagic) {
 		return nil, fmt.Errorf("%w: bad file magic", ErrCorrupt)
 	}
 	b = b[len(fileMagic):]

@@ -2,12 +2,13 @@ package wal
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"regexp"
 	"sort"
 	"strconv"
 	"sync"
+
+	"repro/internal/vfs"
 )
 
 // LogFile describes one on-disk log file.
@@ -19,9 +20,9 @@ type LogFile struct {
 
 var logNameRE = regexp.MustCompile(`^log-(\d{4})\.(\d{6})\.wal$`)
 
-// ListLogFiles enumerates the log files in dir.
-func ListLogFiles(dir string) ([]LogFile, error) {
-	ents, err := os.ReadDir(dir)
+// ListLogFilesFS enumerates the log files in dir.
+func ListLogFilesFS(fsys vfs.FS, dir string) ([]LogFile, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -44,6 +45,11 @@ func ListLogFiles(dir string) ([]LogFile, error) {
 	return out, nil
 }
 
+// ListLogFiles is ListLogFilesFS on the real filesystem.
+func ListLogFiles(dir string) ([]LogFile, error) {
+	return ListLogFilesFS(vfs.OS{}, dir)
+}
+
 // RecoveryResult is the outcome of scanning a log directory.
 type RecoveryResult struct {
 	// Records holds all surviving records (timestamp <= Cutoff), grouped by
@@ -63,49 +69,89 @@ type RecoveryResult struct {
 	MaxGen uint64
 }
 
-// RecoverDir reads every log file in dir and computes the recovery cutoff.
+// RecoverDirFS reads every log file in dir and computes the recovery
+// cutoff. Log files are read and parsed concurrently (one goroutine per
+// file) so a multi-log restart uses every core, mirroring the paper's
+// parallel log replay.
 //
 // Per the paper, t = min over logs L of max timestamp in L, so that only
 // updates every log had made durable (or that precede such updates) are
 // replayed. A worker whose current-generation log is empty contributes no
 // constraint: it durably logged nothing, so it cannot have acknowledged
 // anything that others would depend on.
-func RecoverDir(dir string) (*RecoveryResult, error) {
-	files, err := ListLogFiles(dir)
+func RecoverDirFS(fsys vfs.FS, dir string) (*RecoveryResult, error) {
+	return RecoverDirAboveFS(fsys, dir, 0)
+}
+
+// RecoverDirAboveFS is RecoverDirFS considering only records with
+// timestamps above floor for both the surviving set and the cutoff
+// computation. The store passes the loaded (manifest-format) checkpoint's
+// start timestamp: every record at or below it is fully reflected in the
+// checkpoint, so such records neither need replaying nor constitute
+// durability evidence — in particular, a reclaimed old-generation log that
+// a crash resurrected (its removal was a volatile directory op) holds only
+// pre-checkpoint records and must not drag the cutoff below the durable
+// post-checkpoint tail of busier logs. MaxTS still reports the maximum over
+// all records, floor included, for clock seeding.
+func RecoverDirAboveFS(fsys vfs.FS, dir string, floor uint64) (*RecoveryResult, error) {
+	files, err := ListLogFilesFS(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
 	res := &RecoveryResult{Cutoff: ^uint64(0)}
-	// Concatenate each worker's generations in order, then treat the result
-	// as that worker's single log.
+	// Read and parse every file concurrently.
+	parsed := make([][]Record, len(files))
+	errs := make([]error, len(files))
+	var wg sync.WaitGroup
+	for i, lf := range files {
+		wg.Add(1)
+		go func(i int, lf LogFile) {
+			defer wg.Done()
+			b, err := fsys.ReadFile(lf.Path)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			recs, err := parseLog(b)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", lf.Path, err)
+				return
+			}
+			parsed[i] = recs
+		}(i, lf)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	// Concatenate each worker's generations in order (ListLogFilesFS sorts
+	// by worker then generation), then treat the result as that worker's
+	// single log.
 	perWorker := map[int][]Record{}
-	for _, lf := range files {
+	for i, lf := range files {
 		if lf.Gen > res.MaxGen {
 			res.MaxGen = lf.Gen
 		}
-		b, err := os.ReadFile(lf.Path)
-		if err != nil {
-			return nil, err
-		}
-		recs, err := parseLog(b)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", lf.Path, err)
-		}
-		perWorker[lf.Worker] = append(perWorker[lf.Worker], recs...)
+		perWorker[lf.Worker] = append(perWorker[lf.Worker], parsed[i]...)
 	}
 	constrained := false
 	for _, recs := range perWorker {
-		if len(recs) == 0 {
-			continue
-		}
 		logMax := uint64(0)
 		for _, r := range recs {
-			if r.TS > logMax {
+			if r.TS > res.MaxTS {
+				res.MaxTS = r.TS // global max: floor does not apply
+			}
+			if r.TS > floor && r.TS > logMax {
 				logMax = r.TS
 			}
 		}
-		if logMax > res.MaxTS {
-			res.MaxTS = logMax
+		if logMax == 0 {
+			// Nothing above the floor: this worker's durable records are
+			// all superseded by the checkpoint, so — like an empty log —
+			// it cannot have acknowledged anything others depend on.
+			continue
 		}
 		if logMax < res.Cutoff {
 			res.Cutoff = logMax
@@ -117,12 +163,17 @@ func RecoverDir(dir string) (*RecoveryResult, error) {
 	}
 	for _, recs := range perWorker {
 		for _, r := range recs {
-			if r.Op != OpMark && r.TS <= res.Cutoff {
+			if r.Op != OpMark && r.TS > floor && r.TS <= res.Cutoff {
 				res.Records = append(res.Records, r)
 			}
 		}
 	}
 	return res, nil
+}
+
+// RecoverDir is RecoverDirFS on the real filesystem.
+func RecoverDir(dir string) (*RecoveryResult, error) {
+	return RecoverDirFS(vfs.OS{}, dir)
 }
 
 // Mark appends a timestamp heartbeat to every log (see OpMark).

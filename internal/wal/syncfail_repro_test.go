@@ -4,13 +4,15 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/vfs"
 )
 
 // Repro: a Sync failure (write succeeded, force failed) must not lose
 // subsequently appended records.
 func TestSyncFailureThenRecover(t *testing.T) {
 	dir := t.TempDir()
-	w, err := newWriter(dir, 0, 1, true, 0)
+	w, err := newWriter(vfs.OS{}, dir, 0, 1, true, 0, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +29,7 @@ func TestSyncFailureThenRecover(t *testing.T) {
 	}
 	defer r.Close()
 	real := w.f
-	w.f = pw
+	w.f = vfs.NewOSFile(pw)
 	if err := w.Flush(); err == nil {
 		t.Fatal("expected sync failure on pipe")
 	}

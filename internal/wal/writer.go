@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/value"
+	"repro/internal/vfs"
 )
 
 // Writer is one worker's log: an in-memory buffer plus a file, written out
@@ -19,6 +20,7 @@ import (
 // blocking appenders, batching appends to exploit sequential device
 // bandwidth and forcing the log to storage at least every FlushInterval.
 type Writer struct {
+	fsys   vfs.FS
 	dir    string
 	worker int
 	sync   bool
@@ -38,9 +40,15 @@ type Writer struct {
 	fmu     sync.Mutex
 	fbuf    []byte
 	fbufOff int
-	f       *os.File
+	f       vfs.File
 	gen     uint64
 	closed  bool
+	// needDirSync records that the current file was created with its
+	// directory sync deferred to the Set's batch sync. If that batch sync
+	// never ran (a mid-rotation error), the next writeOut performs it
+	// before claiming durability — Flush must never acknowledge records
+	// into a file whose directory entry a crash could forget.
+	needDirSync bool
 
 	// Flush failures must not vanish into the background goroutine: they are
 	// counted and the most recent one is kept for Store.FlushStats (a lost
@@ -68,11 +76,12 @@ const kickThreshold = 1 << 20
 
 // newWriter opens (creating or appending) the generation-gen log file for a
 // worker.
-func newWriter(dir string, worker int, gen uint64, syncWrites bool, flushEvery time.Duration) (*Writer, error) {
+func newWriter(fsys vfs.FS, dir string, worker int, gen uint64, syncWrites bool, flushEvery time.Duration, dirSync bool) (*Writer, error) {
 	if flushEvery <= 0 {
 		flushEvery = DefaultFlushInterval
 	}
 	w := &Writer{
+		fsys:    fsys,
 		dir:     dir,
 		worker:  worker,
 		sync:    syncWrites,
@@ -80,7 +89,7 @@ func newWriter(dir string, worker int, gen uint64, syncWrites bool, flushEvery t
 		flushCh: make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
-	if err := w.openFile(); err != nil {
+	if err := w.openFile(dirSync); err != nil {
 		return nil, err
 	}
 	w.wg.Add(1)
@@ -93,21 +102,36 @@ func LogFileName(worker int, gen uint64) string {
 	return fmt.Sprintf("log-%04d.%06d.wal", worker, gen)
 }
 
-func (w *Writer) openFile() error {
+// openFile opens (creating if needed) the current generation's file. When
+// dirSync is false the caller batches one directory sync for several
+// creations (OpenSetFS, Set.Rotate) instead of paying one per file.
+func (w *Writer) openFile(dirSync bool) error {
 	path := filepath.Join(w.dir, LogFileName(w.worker, w.gen))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := w.fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return err
 	}
-	if st.Size() == 0 {
+	if size == 0 {
 		if _, err := f.Write(fileMagic); err != nil {
 			f.Close()
 			return err
+		}
+		// Make the file's existence durable before anything is logged
+		// through it: a synced record in a file whose directory entry a
+		// crash forgets is a lost acknowledged write. (The magic itself is
+		// covered by the first data flush's sync.)
+		if dirSync {
+			if err := w.fsys.SyncDir(w.dir); err != nil {
+				f.Close()
+				return err
+			}
+		} else {
+			w.needDirSync = true
 		}
 	}
 	w.f = f
@@ -217,6 +241,15 @@ func (w *Writer) writeOut() error {
 	if w.f == nil {
 		return w.noteErr(errors.New("wal: log file unavailable"))
 	}
+	if w.needDirSync {
+		// The batch directory sync that should have covered this file's
+		// creation never succeeded; self-heal before making any record
+		// durable through it.
+		if err := w.fsys.SyncDir(w.dir); err != nil {
+			return w.noteErr(err)
+		}
+		w.needDirSync = false
+	}
 	n, err := w.f.Write(w.fbuf[w.fbufOff:])
 	w.fbufOff += n
 	if err != nil {
@@ -275,7 +308,9 @@ func (w *Writer) flushLoop(every time.Duration) {
 // Rotate flushes and switches the writer to generation gen. Used at
 // checkpoint start so pre-checkpoint log files can be reclaimed once the
 // checkpoint is durable.
-func (w *Writer) Rotate(gen uint64) error {
+func (w *Writer) Rotate(gen uint64) error { return w.rotate(gen, true) }
+
+func (w *Writer) rotate(gen uint64, dirSync bool) error {
 	w.fmu.Lock()
 	defer w.fmu.Unlock()
 	if err := w.flushLocked(); err != nil {
@@ -285,7 +320,15 @@ func (w *Writer) Rotate(gen uint64) error {
 		w.f.Close()
 	}
 	w.gen = gen
-	return w.openFile()
+	return w.openFile(dirSync)
+}
+
+// dirSynced clears the deferred-directory-sync obligation after the Set's
+// batch sync covered this writer's file creation.
+func (w *Writer) dirSynced() {
+	w.fmu.Lock()
+	w.needDirSync = false
+	w.fmu.Unlock()
 }
 
 // Close flushes and closes the log.
@@ -312,27 +355,41 @@ func (w *Writer) Close() error {
 // Set is the collection of per-worker log writers of one store.
 type Set struct {
 	mu      sync.Mutex
+	fsys    vfs.FS
 	dir     string
 	writers []*Writer
 	gen     uint64
 }
 
-// OpenSet creates (or reopens) n per-worker logs in dir at the given
-// starting generation.
-func OpenSet(dir string, n int, gen uint64, syncWrites bool, flushEvery time.Duration) (*Set, error) {
+// OpenSetFS creates (or reopens) n per-worker logs in dir at the given
+// starting generation, with all file access through fsys.
+func OpenSetFS(fsys vfs.FS, dir string, n int, gen uint64, syncWrites bool, flushEvery time.Duration) (*Set, error) {
 	if flushEvery <= 0 {
 		flushEvery = DefaultFlushInterval
 	}
-	s := &Set{dir: dir, gen: gen}
+	s := &Set{fsys: fsys, dir: dir, gen: gen}
 	for i := 0; i < n; i++ {
-		w, err := newWriter(dir, i, gen, syncWrites, flushEvery)
+		w, err := newWriter(fsys, dir, i, gen, syncWrites, flushEvery, false)
 		if err != nil {
 			s.Close()
 			return nil, err
 		}
 		s.writers = append(s.writers, w)
 	}
+	// One directory sync covers all n creations.
+	if err := fsys.SyncDir(dir); err != nil {
+		s.Close()
+		return nil, err
+	}
+	for _, w := range s.writers {
+		w.dirSynced()
+	}
 	return s, nil
+}
+
+// OpenSet is OpenSetFS on the real filesystem.
+func OpenSet(dir string, n int, gen uint64, syncWrites bool, flushEvery time.Duration) (*Set, error) {
+	return OpenSetFS(vfs.OS{}, dir, n, gen, syncWrites, flushEvery)
 }
 
 // Writer returns worker i's log.
@@ -348,9 +405,18 @@ func (s *Set) Rotate() (uint64, error) {
 	defer s.mu.Unlock()
 	s.gen++
 	for _, w := range s.writers {
-		if err := w.Rotate(s.gen); err != nil {
+		if err := w.rotate(s.gen, false); err != nil {
 			return 0, err
 		}
+	}
+	// One directory sync covers every writer's new generation file. On any
+	// error (here or mid-rotation above) already-rotated writers keep
+	// needDirSync set and self-heal on their next flush.
+	if err := s.fsys.SyncDir(s.dir); err != nil {
+		return 0, err
+	}
+	for _, w := range s.writers {
+		w.dirSynced()
 	}
 	return s.gen, nil
 }
@@ -358,13 +424,13 @@ func (s *Set) Rotate() (uint64, error) {
 // DropBefore removes all log files with generation < gen. Called after a
 // checkpoint that began at generation gen becomes durable.
 func (s *Set) DropBefore(gen uint64) error {
-	files, err := ListLogFiles(s.dir)
+	files, err := ListLogFilesFS(s.fsys, s.dir)
 	if err != nil {
 		return err
 	}
 	for _, f := range files {
 		if f.Gen < gen {
-			if err := os.Remove(f.Path); err != nil {
+			if err := s.fsys.Remove(f.Path); err != nil {
 				return err
 			}
 		}
