@@ -6,13 +6,17 @@
 //	masstree-client -addr host:7500 put KEY VALUE
 //	masstree-client -addr host:7500 putcol KEY COL VALUE [COL VALUE...]
 //	masstree-client -addr host:7500 cas KEY EXPECTVER VALUE
+//	masstree-client -addr host:7500 putttl KEY VALUE TTL_SECONDS
+//	masstree-client -addr host:7500 touch KEY TTL_SECONDS
 //	masstree-client -addr host:7500 del KEY
 //	masstree-client -addr host:7500 scan START N
 //
 // get prints the value's version; cas writes column 0 only if the key's
 // current version still equals EXPECTVER (0 = key must be absent), printing
 // either the new version or the conflicting current version — the version a
-// retry should expect after re-reading.
+// retry should expect after re-reading. putttl and touch are cache-mode
+// (protocol v2) operations: putttl stores a value that expires TTL_SECONDS
+// from now, touch resets an existing key's TTL without rewriting it.
 package main
 
 import (
@@ -101,6 +105,30 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("ok (version %d)\n", ver)
+	case "putttl":
+		if len(args) != 4 {
+			usage()
+		}
+		ttl := parseTTL(args[3])
+		conn := dialV2(*addr)
+		defer conn.Close()
+		ver, err := conn.PutSimpleTTL([]byte(args[1]), []byte(args[2]), ttl)
+		check(err)
+		fmt.Printf("ok (version %d, ttl %ds)\n", ver, ttl)
+	case "touch":
+		if len(args) != 3 {
+			usage()
+		}
+		ttl := parseTTL(args[2])
+		conn := dialV2(*addr)
+		defer conn.Close()
+		ver, ok, err := conn.Touch([]byte(args[1]), ttl)
+		check(err)
+		if !ok {
+			fmt.Println("(not found or expired)")
+			os.Exit(1)
+		}
+		fmt.Printf("ok (version %d, ttl %ds)\n", ver, ttl)
 	case "del":
 		if len(args) != 2 {
 			usage()
@@ -120,22 +148,42 @@ func main() {
 			fmt.Printf("%q: %q\n", p.Key, p.Cols)
 		}
 	case "stats":
-		stats, err := c.Stats()
+		// Dial v2: flush_last_error (the one string-valued stat) is only
+		// served on v2 connections, where clients are known to handle it.
+		conn := dialV2(*addr)
+		defer conn.Close()
+		stats, err := conn.StatsRaw()
 		check(err)
 		// Print every metric the server reports, sorted, so new counters
-		// (batched_gets, batched_puts, flush_errors, ...) show up without
-		// client changes.
+		// (bytes_live, evictions, expirations, ghost_hits, flush_errors,
+		// flush_last_error, ...) show up without client changes.
 		names := make([]string, 0, len(stats))
 		for name := range stats {
 			names = append(names, name)
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			fmt.Printf("%-16s %d\n", name, stats[name])
+			fmt.Printf("%-18s %s\n", name, stats[name])
 		}
 	default:
 		usage()
 	}
+}
+
+func parseTTL(s string) uint32 {
+	n, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		log.Fatalf("masstree-client: bad ttl %q", s)
+	}
+	return uint32(n)
+}
+
+func dialV2(addr string) *client.Conn {
+	conn, err := client.DialConn(addr)
+	if err != nil {
+		log.Fatalf("masstree-client: %v", err)
+	}
+	return conn
 }
 
 func check(err error) {
@@ -151,8 +199,12 @@ func usage() {
   putcol KEY COL VALUE [...]   write specific columns atomically
   cas KEY EXPECTVER VALUE      conditional write: applies only if the key's
                                version is still EXPECTVER (0 = absent)
+  putttl KEY VALUE TTL         write column 0 expiring TTL seconds from now
+  touch KEY TTL                reset a key's TTL without rewriting its value
   del KEY                      remove a key
   scan START N                 range query: up to N pairs from START
-  stats                        server statistics (tree counters)`)
+  stats                        server statistics (tree, batching, cache
+                               counters incl. bytes_live/evictions, flush
+                               errors)`)
 	os.Exit(2)
 }

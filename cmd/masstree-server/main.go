@@ -33,6 +33,8 @@ func main() {
 		ckptEvery = flag.Duration("checkpoint-every", 0, "checkpoint period (0 = manual only)")
 		ckptParts = flag.Int("checkpoint-parts", runtime.GOMAXPROCS(0),
 			"concurrent checkpoint part writers (disjoint key ranges; recovery loads parts in parallel)")
+		maxBytes = flag.Int64("max-bytes", 0,
+			"cache mode: bound accounted live bytes (packed value sizes), evicting S3-FIFO-style; 0 = unbounded")
 	)
 	flag.Parse()
 
@@ -42,9 +44,13 @@ func main() {
 		FlushInterval:   *flushMs,
 		SyncWrites:      *syncWr,
 		CheckpointParts: *ckptParts,
+		MaxBytes:        int(*maxBytes),
 	})
 	if err != nil {
 		log.Fatalf("masstree-server: open store: %v", err)
+	}
+	if *maxBytes > 0 {
+		log.Printf("masstree-server: cache mode, max-bytes=%d", *maxBytes)
 	}
 	log.Printf("masstree-server: recovered %d keys", store.Len())
 

@@ -41,6 +41,35 @@
 // checkpoint timestamp redundant and skip it (replaying one could resurrect
 // a key whose remove only the checkpoint remembers).
 //
+// Cache mode (internal/cache) makes the store the memcached-class server
+// the paper benchmarks against (§1, §6): Config.MaxBytes bounds the
+// accounted live bytes — per-worker cache-line-padded counters fed by the
+// packed value sizes, one atomic add per put or remove — and an
+// S3-FIFO-inspired policy (small probationary FIFO, main FIFO, ghost list
+// of evicted key hashes) evicts cold keys from the maintenance loop, with
+// over-budget writers throttled into helping (HelpEnforce) so the bound
+// holds even when writers outrun the maintenance goroutine. The hot paths
+// feed the policy without locks it could contend on: puts append admission
+// events to per-worker double-buffered rings, gets store key hashes into
+// per-worker lossy access rings. TTLs ride in the packed value header
+// (value.BuildTTLAt): reads treat a lapsed value as absent immediately
+// (lazy expiry) and an incremental background sweep reclaims it.
+// Protocol v2 carries PutTTL and Touch (v1 semantics are untouched), and
+// the Stats op reports bytes_live, evictions, expirations, and ghost_hits.
+//
+// Cache-mode persistence semantics: evictions and expirations are clean
+// drops — they write no WAL remove — so a crash may replay a dropped key
+// back (its put record is still in the log), which is correct for a cache:
+// recovery replays, then re-enforces the byte bound before serving, and a
+// replayed TTL value simply re-expires (the expiry is in the logged value,
+// wal.OpPutTTL). Checkpoints skip expired entries, so once a checkpoint
+// supersedes the logs a dropped key is gone for good. What cache mode never
+// does is lose an acked write it did not drop — the eviction-enabled crash
+// torture (TestCrashTortureEviction) proves that at every filesystem
+// boundary, and the clean-drop path still lifts the remove floor under the
+// border lock so a re-inserted key's versions stay above the dropped
+// value's and replay order is preserved.
+//
 // Everything under wal and checkpoint reaches the disk through internal/vfs,
 // an injectable filesystem seam. vfs.MemFS models crash consistency the way
 // a conservative POSIX filesystem behaves (unsynced file data is lost;
@@ -57,7 +86,8 @@
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
 // results. The implementation lives under internal/; runnable entry points
 // are under cmd/ and examples/ (examples/pipeline demonstrates the async
-// client and CAS). BENCH_pipeline.json, BENCH_writepath.json,
-// BENCH_pipeline_v2.json, and BENCH_recovery.json record the read-path,
-// write-path, pipelining, and restart numbers.
+// client and CAS; examples/cachefront the bounded cache).
+// BENCH_pipeline.json, BENCH_writepath.json, BENCH_pipeline_v2.json,
+// BENCH_recovery.json, and BENCH_cache.json record the read-path,
+// write-path, pipelining, restart, and cache-mode numbers.
 package repro

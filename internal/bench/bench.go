@@ -144,10 +144,11 @@ var Registry = map[string]func(Scale) *Table{
 	"ckpt":  Ckpt,
 	"retry": Retry,
 	"shape": Shape,
+	"cache": Cache,
 }
 
 // IDs lists experiment ids in presentation order.
-var IDs = []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "sec63", "sec64", "ckpt", "retry", "shape"}
+var IDs = []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "sec63", "sec64", "ckpt", "retry", "shape", "cache"}
 
 // All runs every experiment.
 func All(sc Scale) []*Table {

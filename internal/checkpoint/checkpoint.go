@@ -47,9 +47,14 @@ import (
 )
 
 var (
-	fileMagic = []byte("MTCKPT1\n")
-	mfMagic   = []byte("MTCKMF1\n")
-	fileEnd   = []byte("MTCKEND\n")
+	// fileMagic is the current body-file format: each entry carries the
+	// value's expiry timestamp (cache-mode TTLs survive checkpoints).
+	// fileMagicV1 bodies — written before TTLs existed — are still read;
+	// their entries load with expiry 0.
+	fileMagic   = []byte("MTCKPT2\n")
+	fileMagicV1 = []byte("MTCKPT1\n")
+	mfMagic     = []byte("MTCKMF1\n")
+	fileEnd     = []byte("MTCKEND\n")
 
 	// ErrNone reports that no valid checkpoint exists.
 	ErrNone = errors.New("checkpoint: none found")
@@ -337,9 +342,10 @@ func writeEntry(w *bufio.Writer, e Entry) error {
 	if _, err := w.Write(e.Key); err != nil {
 		return err
 	}
-	var vh [10]byte
+	var vh [18]byte
 	binary.LittleEndian.PutUint64(vh[:8], e.Value.Version())
-	binary.LittleEndian.PutUint16(vh[8:], uint16(e.Value.NumCols()))
+	binary.LittleEndian.PutUint64(vh[8:16], e.Value.ExpiresAt())
+	binary.LittleEndian.PutUint16(vh[16:], uint16(e.Value.NumCols()))
 	if _, err := w.Write(vh[:]); err != nil {
 		return err
 	}
@@ -524,12 +530,14 @@ func Load(path string, apply func(Entry)) (startTS uint64, err error) {
 }
 
 // parseCkptFile validates framing, checksum, and every entry of one body
-// file, returning the decoded entries. Entries alias b.
+// file, returning the decoded entries. Entries alias b. Both the current
+// (expiry-carrying) and the v1 entry layout are accepted, keyed by magic.
 func parseCkptFile(b []byte) (startTS uint64, es []Entry, err error) {
 	if len(b) < len(fileMagic)+8+8+4+len(fileEnd) {
 		return 0, nil, fmt.Errorf("%w: short file", ErrCorrupt)
 	}
-	if string(b[:len(fileMagic)]) != string(fileMagic) {
+	v1 := string(b[:len(fileMagicV1)]) == string(fileMagicV1)
+	if !v1 && string(b[:len(fileMagic)]) != string(fileMagic) {
 		return 0, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	if string(b[len(b)-len(fileEnd):]) != string(fileEnd) {
@@ -553,11 +561,11 @@ func parseCkptFile(b []byte) (startTS uint64, es []Entry, err error) {
 		return 0, nil, fmt.Errorf("%w: claimed count %d exceeds body", ErrCorrupt, count)
 	}
 	es = make([]Entry, 0, count)
-	var puts []value.ColPut // reused scratch; BuildAt copies
+	var puts []value.ColPut // reused scratch; BuildTTLAt copies
 	for i := uint64(0); i < count; i++ {
 		var e Entry
 		var n int
-		e, n, puts, err = parseEntry(body, puts)
+		e, n, puts, err = parseEntry(body, puts, v1)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -572,21 +580,32 @@ func parseCkptFile(b []byte) (startTS uint64, es []Entry, err error) {
 
 // parseEntry decodes one entry. The key aliases b; the value is built as a
 // single packed allocation (the same representation the write path builds),
-// so loading performs exactly one allocation per entry.
-func parseEntry(b []byte, scratch []value.ColPut) (Entry, int, []value.ColPut, error) {
+// so loading performs exactly one allocation per entry. v1 entries carry no
+// expiry field and load with expiry 0.
+func parseEntry(b []byte, scratch []value.ColPut, v1 bool) (Entry, int, []value.ColPut, error) {
+	vhLen := 18 // version u64 | expiry u64 | ncols u16
+	if v1 {
+		vhLen = 10 // version u64 | ncols u16
+	}
 	if len(b) < 4 {
 		return Entry{}, 0, scratch, fmt.Errorf("%w: short entry", ErrCorrupt)
 	}
 	klen := int(binary.LittleEndian.Uint32(b))
 	p := 4
-	if klen < 0 || len(b) < p+klen+10 {
+	if klen < 0 || len(b) < p+klen+vhLen {
 		return Entry{}, 0, scratch, fmt.Errorf("%w: short entry", ErrCorrupt)
 	}
 	key := b[p : p+klen]
 	p += klen
 	version := binary.LittleEndian.Uint64(b[p:])
-	ncols := int(binary.LittleEndian.Uint16(b[p+8:]))
-	p += 10
+	p += 8
+	expiry := uint64(0)
+	if !v1 {
+		expiry = binary.LittleEndian.Uint64(b[p:])
+		p += 8
+	}
+	ncols := int(binary.LittleEndian.Uint16(b[p:]))
+	p += 2
 	scratch = scratch[:0]
 	for i := 0; i < ncols; i++ {
 		if len(b) < p+4 {
@@ -600,7 +619,7 @@ func parseEntry(b []byte, scratch []value.ColPut) (Entry, int, []value.ColPut, e
 		scratch = append(scratch, value.ColPut{Col: i, Data: b[p : p+clen]})
 		p += clen
 	}
-	return Entry{Key: key, Value: value.BuildAt(nil, scratch, version, 0)}, p, scratch, nil
+	return Entry{Key: key, Value: value.BuildTTLAt(nil, scratch, version, 0, expiry)}, p, scratch, nil
 }
 
 // DropFS removes all checkpoints older than the one at keepTS, plus any

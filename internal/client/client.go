@@ -32,7 +32,6 @@ import (
 	"bufio"
 	"fmt"
 	"net"
-	"strconv"
 
 	"repro/internal/wire"
 )
@@ -184,19 +183,26 @@ func (c *Client) GetRange(start []byte, n int, cols []int) ([]wire.Pair, error) 
 	return resps[0].Pairs, nil
 }
 
-// Stats returns the server's metric name/value pairs.
+// Stats returns the server's numeric metrics. Non-numeric metrics (e.g.
+// flush_last_error) are skipped; use StatsRaw to see everything.
 func (c *Client) Stats() (map[string]int64, error) {
+	raw, err := c.StatsRaw()
+	if err != nil {
+		return nil, err
+	}
+	return numericStats(raw), nil
+}
+
+// StatsRaw returns every metric the server reports, verbatim, including
+// non-numeric ones like flush_last_error.
+func (c *Client) StatsRaw() (map[string]string, error) {
 	resps, err := c.Do([]wire.Request{{Op: wire.OpStats}})
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string]int64, len(resps[0].Pairs))
+	out := make(map[string]string, len(resps[0].Pairs))
 	for _, p := range resps[0].Pairs {
-		n, err := strconv.ParseInt(string(p.Cols[0]), 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("client: bad stats value for %q: %w", p.Key, err)
-		}
-		out[string(p.Key)] = n
+		out[string(p.Key)] = string(p.Cols[0])
 	}
 	return out, nil
 }

@@ -383,6 +383,51 @@ func (c *Conn) PutSimple(key, data []byte) (uint64, error) {
 	return c.Put(key, []wire.ColData{{Col: 0, Data: data}})
 }
 
+// PutTTL writes columns of one key with a time-to-live in seconds (0 =
+// never expires, like Put). After the TTL lapses the key reads as absent
+// and the server's maintenance loop eventually sweeps it. Cache-mode
+// operations are v2 surface, which Conn always speaks.
+func (c *Conn) PutTTL(key []byte, puts []wire.ColData, ttlSeconds uint32) (uint64, error) {
+	p := c.Go([]wire.Request{{Op: wire.OpPutTTL, Key: key, Puts: puts, TTL: ttlSeconds}})
+	resps, err := p.Wait()
+	if err != nil {
+		p.Release()
+		return 0, err
+	}
+	status, ver := resps[0].Status, resps[0].Version
+	p.Release()
+	if status != wire.StatusOK {
+		return 0, fmt.Errorf("client: putttl status %d", status)
+	}
+	return ver, nil
+}
+
+// PutSimpleTTL writes data as column 0 of key with a TTL in seconds.
+func (c *Conn) PutSimpleTTL(key, data []byte, ttlSeconds uint32) (uint64, error) {
+	return c.PutTTL(key, []wire.ColData{{Col: 0, Data: data}}, ttlSeconds)
+}
+
+// Touch resets one key's TTL (seconds from now; 0 removes the expiry)
+// without rewriting its value. ok is false if the key is absent or already
+// expired.
+func (c *Conn) Touch(key []byte, ttlSeconds uint32) (ver uint64, ok bool, err error) {
+	p := c.Go([]wire.Request{{Op: wire.OpTouch, Key: key, TTL: ttlSeconds}})
+	resps, err := p.Wait()
+	if err != nil {
+		p.Release()
+		return 0, false, err
+	}
+	status, version := resps[0].Status, resps[0].Version
+	p.Release()
+	switch status {
+	case wire.StatusOK:
+		return version, true, nil
+	case wire.StatusNotFound:
+		return 0, false, nil
+	}
+	return 0, false, fmt.Errorf("client: touch status %d", status)
+}
+
 // CasPut conditionally writes columns of one key: the write applies only if
 // the key's current version equals expect (0 = key absent, so expect 0 is
 // create-if-absent). On success it returns the new version with ok true; on
@@ -432,25 +477,43 @@ func (c *Conn) GetRange(start []byte, n int, cols []int) ([]wire.Pair, error) {
 	return pairs, nil
 }
 
-// Stats returns the server's metric name/value pairs.
+// Stats returns the server's numeric metrics. Non-numeric metrics (e.g.
+// flush_last_error, which carries an error string) are skipped; use
+// StatsRaw to see everything.
 func (c *Conn) Stats() (map[string]int64, error) {
+	raw, err := c.StatsRaw()
+	if err != nil {
+		return nil, err
+	}
+	return numericStats(raw), nil
+}
+
+// StatsRaw returns every metric the server reports, verbatim, including
+// non-numeric ones like flush_last_error.
+func (c *Conn) StatsRaw() (map[string]string, error) {
 	p := c.Go([]wire.Request{{Op: wire.OpStats}})
 	resps, err := p.Wait()
 	if err != nil {
 		p.Release()
 		return nil, err
 	}
-	out := make(map[string]int64, len(resps[0].Pairs))
+	out := make(map[string]string, len(resps[0].Pairs))
 	for _, pair := range resps[0].Pairs {
-		n, err := strconv.ParseInt(string(pair.Cols[0]), 10, 64)
-		if err != nil {
-			p.Release()
-			return nil, fmt.Errorf("client: bad stats value for %q: %w", pair.Key, err)
-		}
-		out[string(pair.Key)] = n
+		out[string(pair.Key)] = string(pair.Cols[0])
 	}
 	p.Release()
 	return out, nil
+}
+
+// numericStats filters a raw stats map down to its parseable values.
+func numericStats(raw map[string]string) map[string]int64 {
+	out := make(map[string]int64, len(raw))
+	for k, v := range raw {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			out[k] = n
+		}
+	}
+	return out
 }
 
 // cloneCols deep-copies a column set out of reusable decode scratch.

@@ -23,10 +23,27 @@ func (t *Tree) Remove(key []byte) (*value.Value, bool) {
 // the remove's log timestamp atomically with the removal, so replay order
 // matches execution order even across remove/re-insert races (§5).
 func (t *Tree) RemoveWith(key []byte, fn func(old *value.Value)) (*value.Value, bool) {
-	return t.remove(key, fn)
+	if fn == nil {
+		return t.remove(key, nil)
+	}
+	return t.remove(key, func(old *value.Value) bool { fn(old); return true })
 }
 
-func (t *Tree) remove(key []byte, fn func(old *value.Value)) (*value.Value, bool) {
+// RemoveIf removes key only if pred, evaluated on the current value under
+// the owning border node's lock, returns true. This is the remove-for-
+// eviction hook: callers decide on a value they read optimistically and the
+// predicate runs against the value actually being unlinked. How much it
+// re-checks is the caller's policy — the kvstore's TTL sweep re-validates
+// expiry so a racing fresh put is never dropped by a stale deadline, while
+// its eviction path removes unconditionally (a cache may evict any key at
+// any moment, so evicting a just-put value is semantically the same as
+// evicting it right after). Returns the removed value and whether the
+// removal happened.
+func (t *Tree) RemoveIf(key []byte, pred func(old *value.Value) bool) (*value.Value, bool) {
+	return t.remove(key, pred)
+}
+
+func (t *Tree) remove(key []byte, fn func(old *value.Value) bool) (*value.Value, bool) {
 restart:
 	root := t.rootHeader()
 	k := key
@@ -66,8 +83,9 @@ restart:
 			panic("core: unstable slot observed under lock")
 		}
 		old := (*value.Value)(n.loadLV(slot))
-		if fn != nil {
-			fn(old)
+		if fn != nil && !fn(old) {
+			n.h.unlock()
+			return nil, false
 		}
 		// Dirty the version before unlinking (§4.6.5): a concurrent reader
 		// or scanner that snapshotted the permutation while this key was

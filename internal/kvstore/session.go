@@ -34,14 +34,18 @@ func (ss *Session) Close() {
 func (ss *Session) Get(key []byte, cols []int) ([][]byte, bool) {
 	ss.h.Enter()
 	defer ss.h.Exit()
+	ss.s.cache.NoteAccess(ss.worker, key)
 	return ss.s.Get(key, cols)
 }
 
 // GetInto is Get appending the columns to dst (see Store.GetInto); with a
-// reused dst the read path performs no allocations.
+// reused dst the read path performs no allocations. (In cache mode the read
+// additionally records the key's hash into the worker's lossy access ring —
+// an atomic add and store, still allocation-free.)
 func (ss *Session) GetInto(key []byte, cols []int, dst [][]byte) ([][]byte, bool) {
 	ss.h.Enter()
 	defer ss.h.Exit()
+	ss.s.cache.NoteAccess(ss.worker, key)
 	return ss.s.GetInto(key, cols, dst)
 }
 
@@ -51,6 +55,11 @@ func (ss *Session) GetInto(key []byte, cols []int, dst [][]byte) ([][]byte, bool
 func (ss *Session) GetBatch(keys [][]byte, cols []int) ([][][]byte, []bool) {
 	ss.h.Enter()
 	defer ss.h.Exit()
+	if ss.s.cache.EvictionEnabled() {
+		for _, k := range keys {
+			ss.s.cache.NoteAccess(ss.worker, k)
+		}
+	}
 	vals, ok := ss.s.GetBatchInto(keys, &ss.batch)
 	// Copy the found flags out of the session scratch: this is the safe
 	// allocating wrapper, so nothing it returns may alias reusable state.
@@ -65,6 +74,11 @@ func (ss *Session) GetBatch(keys [][]byte, cols []int) ([][][]byte, []bool) {
 func (ss *Session) GetBatchInto(keys [][]byte) ([]*value.Value, []bool) {
 	ss.h.Enter()
 	defer ss.h.Exit()
+	if ss.s.cache.EvictionEnabled() {
+		for _, k := range keys {
+			ss.s.cache.NoteAccess(ss.worker, k)
+		}
+	}
 	return ss.s.GetBatchInto(keys, &ss.batch)
 }
 
@@ -82,6 +96,28 @@ func (ss *Session) Put(key []byte, puts []value.ColPut) uint64 {
 func (ss *Session) PutSimple(key, data []byte) uint64 {
 	ss.put1[0] = value.ColPut{Col: 0, Data: data}
 	return ss.Put(key, ss.put1[:])
+}
+
+// PutTTL is Put with an expiry deadline in unix nanoseconds (0 = never);
+// see Store.PutTTL for cache-mode TTL semantics.
+func (ss *Session) PutTTL(key []byte, puts []value.ColPut, expiresAt uint64) uint64 {
+	ss.h.Enter()
+	defer ss.h.Exit()
+	return ss.s.PutTTL(ss.worker, key, puts, expiresAt)
+}
+
+// PutSimpleTTL stores data as column 0 with an expiry deadline.
+func (ss *Session) PutSimpleTTL(key, data []byte, expiresAt uint64) uint64 {
+	ss.put1[0] = value.ColPut{Col: 0, Data: data}
+	return ss.PutTTL(key, ss.put1[:], expiresAt)
+}
+
+// Touch resets key's expiry without changing its columns; ok is false if
+// the key is absent or already expired. See Store.Touch.
+func (ss *Session) Touch(key []byte, expiresAt uint64) (uint64, bool) {
+	ss.h.Enter()
+	defer ss.h.Exit()
+	return ss.s.Touch(ss.worker, key, expiresAt)
 }
 
 // CasPut conditionally applies column modifications: the write succeeds
@@ -102,6 +138,7 @@ func (ss *Session) CasPut(key []byte, expect uint64, puts []value.ColPut) (ver u
 func (ss *Session) GetValue(key []byte) (*value.Value, bool) {
 	ss.h.Enter()
 	defer ss.h.Exit()
+	ss.s.cache.NoteAccess(ss.worker, key)
 	return ss.s.GetValue(key)
 }
 

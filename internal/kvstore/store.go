@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/epoch"
@@ -69,6 +70,14 @@ type Config struct {
 	// real filesystem; tests inject vfs.MemFS/vfs.Fault to model crashes
 	// at every write/fsync/rename boundary.
 	FS vfs.FS
+	// MaxBytes switches the store into cache mode: accounted live bytes
+	// (packed value sizes) are kept at or below this bound by the
+	// S3-FIFO-inspired eviction policy running from the maintenance loop.
+	// 0 disables eviction (the store only grows, as before). Evictions are
+	// clean drops — no WAL remove is written — so after a crash evicted
+	// keys may replay back; recovery then re-enforces the bound. See
+	// internal/cache and the package comment's cache-mode section.
+	MaxBytes int
 }
 
 // Pair is one key plus requested columns, returned by GetRange.
@@ -86,6 +95,22 @@ type Store struct {
 	clock *shardedClock
 	logs  *wal.Set // nil when persistence is disabled
 	mgr   epoch.Manager
+	cache *cache.Cache
+
+	// ttlUsed arms the maintenance loop's expiry sweep the first time any
+	// value carries an expiry (PutTTL/Touch, or a recovered TTL record), so
+	// TTL-free stores never pay for tree sweeps.
+	ttlUsed atomic.Bool
+	// evictH is the maintenance loop's epoch handle: evictions and expiry
+	// sweeps run inside Enter/Exit so deferred structural reclamation waits
+	// for them like for any session's operation.
+	evictH *epoch.Handle
+	// sweepCursor/sweepKeys are the incremental expiry sweep's position and
+	// reusable victim buffer; owned by the maintenance context.
+	sweepCursor []byte
+	sweepKeys   [][]byte
+	sweepArena  []byte
+	sweepBuf    []byte
 
 	// workerMu[w] serializes worker w's version-draw-to-log-append window
 	// (only taken when logging is enabled). Sessions sharing a worker id
@@ -119,6 +144,7 @@ func Open(cfg Config) (*Store, error) {
 		fsys:     cfg.FS,
 		tree:     core.New(),
 		clock:    newShardedClock(cfg.Workers),
+		cache:    cache.New(cfg.Workers, cfg.MaxBytes),
 		workerMu: make([]paddedMutex, cfg.Workers),
 		stop:     make(chan struct{}),
 	}
@@ -133,11 +159,41 @@ func Open(cfg Config) (*Store, error) {
 			return nil, err
 		}
 	}
+	s.evictH = s.mgr.Register()
+	// Cache mode re-enforces the bound over recovered state: replay may have
+	// brought back evicted keys (their drops were never logged) and the
+	// accounted total starts from whatever survived, so seed the policy with
+	// every recovered key and evict straight back down to the budget before
+	// serving.
+	s.seedCache()
 	if cfg.MaintainEvery > 0 {
 		s.wg.Add(1)
 		go s.maintainLoop()
 	}
 	return s, nil
+}
+
+// seedCache charges the accounting shards for every key already in the tree
+// (recovered state) and, in cache mode, admits the keys to the eviction
+// policy and enforces the byte bound synchronously. Runs before any
+// concurrent access exists.
+func (s *Store) seedCache() {
+	var total int64
+	buf := make([]byte, 0, 64)
+	s.tree.ScanInto(nil, buf, func(k []byte, v *value.Value) bool {
+		total += int64(v.Size())
+		if v.ExpiresAt() != 0 {
+			s.ttlUsed.Store(true)
+		}
+		s.cache.Seed(k, v.Size())
+		return true
+	})
+	if total != 0 {
+		s.cache.Account(-1, total)
+	}
+	if s.cache.EvictionEnabled() {
+		s.cacheMaintain()
+	}
 }
 
 // recover loads the latest valid checkpoint — all parts concurrently, each
@@ -174,12 +230,19 @@ func (s *Store) recover() error {
 	}
 	res.Replay(max(4, runtime.GOMAXPROCS(0)), func(r wal.Record) {
 		switch r.Op {
-		case wal.OpPut:
+		case wal.OpPut, wal.OpPutTTL, wal.OpInsert, wal.OpInsertTTL:
 			s.tree.Update(r.Key, func(old *value.Value) *value.Value {
 				if old != nil && old.Version() >= r.TS {
 					return old // already reflected (e.g. via the checkpoint)
 				}
-				return value.ApplyAt(old, r.Puts, r.TS)
+				if r.Op.IsInsert() {
+					// Executed against an absent (or lazily-expired) base:
+					// replace rather than merge, so stale records of a
+					// cleanly-dropped (evicted/swept) predecessor cannot
+					// fold their columns into the recovered value.
+					old = nil
+				}
+				return value.ApplyTTLAt(old, r.Puts, r.TS, r.Expiry)
 			})
 		case wal.OpRemove:
 			if v, ok := s.tree.Get(r.Key); ok && v.Version() < r.TS {
@@ -284,7 +347,14 @@ func (s *Store) maintainLoop() {
 	lastMark := uint64(0)
 	for {
 		select {
+		case <-s.cache.Wake():
+			// A worker's accounting probe saw the byte budget exceeded:
+			// evict now instead of waiting out the tick, bounding overshoot
+			// to roughly one eviction batch. (Wake() is nil — and this case
+			// inert — when eviction is disabled.)
+			s.cacheMaintain()
 		case <-t.C:
+			s.cacheMaintain()
 			// Deferred structural clean-up runs through the epoch manager,
 			// exactly as the paper schedules reclamation tasks (§4.6.5):
 			// the collapse executes only after concurrent readers have
@@ -326,6 +396,128 @@ func (s *Store) maintainLoop() {
 	}
 }
 
+// cacheMaintain runs one cache-mode maintenance pass: the incremental TTL
+// sweep, then the policy drain-and-evict. Both remove keys through the
+// border-lock remove path under the maintenance epoch handle, so deferred
+// structural reclamation treats them like any session's operation.
+func (s *Store) cacheMaintain() {
+	if !s.ttlUsed.Load() && !s.cache.EvictionEnabled() {
+		return
+	}
+	s.evictH.Enter()
+	defer s.evictH.Exit()
+	if s.ttlUsed.Load() {
+		// Adaptive catch-up: one batch per tick suffices when expirations
+		// trickle, but a TTL-heavy store (especially with eviction disabled,
+		// where nothing else reclaims memory) can lapse keys faster than
+		// sweepBatchKeys per tick. Keep sweeping while batches come back
+		// dense with expired keys, up to a bounded number of rounds, so the
+		// sweep rate scales with the backlog instead of pinning at one
+		// batch regardless of it.
+		now := time.Now().UnixNano()
+		for round := 0; round < maxSweepRounds; round++ {
+			if s.sweepExpired(now) < sweepBatchKeys/8 {
+				break
+			}
+		}
+	}
+	s.cache.Maintain(s.evictKey)
+}
+
+// evictKey is the policy's remove callback: a clean drop through the same
+// border-lock remove path as Remove, minus the WAL record. The predicate
+// accepts whatever value is current — a put racing the eviction decision
+// may see its value dropped immediately, which cache semantics permit
+// (indistinguishable from evicting the key a moment after the put; the
+// torture model's dropped-key rule covers exactly this). The remove floor
+// is still lifted under the lock — a later re-insert of the key must draw a
+// version above the dropped value's, or log replay would apply the new put
+// before (and thus lose it to) the old one's higher version guard.
+func (s *Store) evictKey(key []byte) bool {
+	var delta int64
+	_, ok := s.tree.RemoveIf(key, func(old *value.Value) bool {
+		s.clock.noteRemove(old.Version())
+		delta = -int64(old.Size())
+		return true
+	})
+	if ok {
+		s.cache.Account(-1, delta)
+	}
+	return ok
+}
+
+// sweepBatchKeys bounds how many keys one sweep batch inspects for expiry;
+// maxSweepRounds bounds how many batches one maintenance tick chains when
+// the batches keep coming back dense with expired keys (see cacheMaintain).
+// Together they cap a tick's sweep work while letting the reclaim rate
+// grow ~32x under backlog.
+const (
+	sweepBatchKeys = 512
+	maxSweepRounds = 32
+)
+
+// sweepExpired scans up to sweepBatchKeys keys from the sweep cursor,
+// physically removing values whose expiry has lapsed, and returns how many
+// it dropped. Removals are clean drops (no WAL record): the expiry travels
+// inside every logged value, so a replayed copy simply re-expires. RemoveIf
+// re-checks expiry under the border lock — a concurrent fresh put between
+// scan and removal wins.
+func (s *Store) sweepExpired(now int64) int {
+	s.sweepKeys = s.sweepKeys[:0]
+	s.sweepArena = s.sweepArena[:0]
+	seen := 0
+	var last []byte // copied per key: the scan's key buffer is reused
+	if s.sweepBuf == nil {
+		s.sweepBuf = make([]byte, 0, 64)
+	}
+	s.sweepBuf = s.tree.ScanInto(s.sweepCursor, s.sweepBuf, func(k []byte, v *value.Value) bool {
+		seen++
+		if v.Expired(now) {
+			off := len(s.sweepArena)
+			s.sweepArena = append(s.sweepArena, k...)
+			s.sweepKeys = append(s.sweepKeys, s.sweepArena[off:len(s.sweepArena):len(s.sweepArena)])
+		}
+		last = append(last[:0], k...)
+		return seen < sweepBatchKeys
+	})
+	if seen < sweepBatchKeys {
+		s.sweepCursor = s.sweepCursor[:0] // reached the end: wrap to the start
+	} else {
+		// Resume just past the last visited key (append a 0 byte: the
+		// smallest strictly-greater key).
+		s.sweepCursor = append(append(s.sweepCursor[:0], last...), 0)
+	}
+	var dropped int64
+	for _, k := range s.sweepKeys {
+		var delta int64
+		_, ok := s.tree.RemoveIf(k, func(old *value.Value) bool {
+			if !old.Expired(now) {
+				return false // re-put since the scan: keep it
+			}
+			s.clock.noteRemove(old.Version())
+			delta = -int64(old.Size())
+			return true
+		})
+		if ok {
+			s.cache.Account(-1, delta)
+			s.cache.NoteRemove(0, k)
+			dropped++
+		}
+	}
+	if dropped != 0 {
+		s.cache.NoteExpirations(dropped)
+	}
+	return int(dropped)
+}
+
+// CacheStats snapshots the cache-mode counters: accounted live bytes,
+// evictions, expirations, and ghost hits. BytesLive is meaningful (and
+// cheap) in every mode; the rest stay zero unless MaxBytes/TTLs are in use.
+func (s *Store) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// MaxBytes reports the configured cache-mode byte budget (0 = unbounded).
+func (s *Store) MaxBytes() int64 { return s.cache.MaxBytes() }
+
 // Tree exposes the underlying Masstree (benchmarks and tests).
 func (s *Store) Tree() *core.Tree { return s.tree }
 
@@ -335,11 +527,21 @@ func (s *Store) Epoch() *epoch.Manager { return &s.mgr }
 // Len returns the number of keys.
 func (s *Store) Len() int { return s.tree.Len() }
 
+// expired reports whether v carries a lapsed expiry — the lazy half of TTL
+// enforcement: every read path treats an expired value as absent the moment
+// its deadline passes, without waiting for the background sweep to remove
+// it physically. time.Now is only consulted for values that carry an expiry
+// at all, so TTL-free workloads pay one header load and a branch.
+func expired(v *value.Value) bool {
+	e := v.ExpiresAt()
+	return e != 0 && e <= uint64(time.Now().UnixNano())
+}
+
 // Get returns the requested columns of key's value, or (nil, false) if the
 // key is absent. cols == nil returns all columns.
 func (s *Store) Get(key []byte, cols []int) ([][]byte, bool) {
 	v, ok := s.tree.Get(key)
-	if !ok {
+	if !ok || expired(v) {
 		return nil, false
 	}
 	return pickCols(v, cols), true
@@ -351,24 +553,32 @@ func (s *Store) Get(key []byte, cols []int) ([][]byte, bool) {
 // immutable value, so no byte copying happens either).
 func (s *Store) GetInto(key []byte, cols []int, dst [][]byte) ([][]byte, bool) {
 	v, ok := s.tree.Get(key)
-	if !ok {
+	if !ok || expired(v) {
 		return dst, false
 	}
 	return AppendCols(dst, v, cols), true
 }
 
 // GetValue returns the whole value object.
-func (s *Store) GetValue(key []byte) (*value.Value, bool) { return s.tree.Get(key) }
+func (s *Store) GetValue(key []byte) (*value.Value, bool) {
+	v, ok := s.tree.Get(key)
+	if !ok || expired(v) {
+		return nil, false
+	}
+	return v, true
+}
 
 // BatchScratch holds reusable state for GetBatchInto and PutBatchInto: the
 // result slices and the core tree's batch-ordering scratch. One scratch per
 // worker or connection makes steady-state batched reads and writes
 // allocation-free (beyond the packed values a put must build).
 type BatchScratch struct {
-	vals  []*value.Value
-	found []bool
-	vers  []uint64
-	core  core.BatchScratch
+	vals    []*value.Value
+	found   []bool
+	vers    []uint64
+	sizes   []int  // packed sizes of a put batch's new values (cache admission)
+	inserts []bool // which batch entries executed against an absent base
+	core    core.BatchScratch
 }
 
 // GetBatch retrieves many keys at once, processing them in tree order to
@@ -405,6 +615,11 @@ func (s *Store) GetBatchInto(keys [][]byte, sc *BatchScratch) ([]*value.Value, [
 	sc.vals = sc.vals[:n]
 	sc.found = sc.found[:n]
 	s.tree.GetBatchInto(keys, sc.vals, sc.found, &sc.core)
+	for i := range sc.found {
+		if sc.found[i] && expired(sc.vals[i]) {
+			sc.vals[i], sc.found[i] = nil, false
+		}
+	}
 	return sc.vals, sc.found
 }
 
@@ -441,6 +656,25 @@ func (s *Store) nextVersion(worker int, old *value.Value) uint64 {
 	return s.clock.tick(worker, old.Version())
 }
 
+// expireBase implements the write-side half of lazy expiry, under the
+// owning border node's lock. An expired old value reads as absent, so a
+// write over it must behave like a write over an absent key: the new value
+// builds on a nil base (a partial-column put must not resurrect the dead
+// value's other columns) and is logged as an insert record, which replay
+// applies as a replacement (wal.OpInsert) so recovery rebuilds the same
+// columns the live store served. The physical old value still orders the
+// clock — an implicit remove's timestamp is drawn past its version and the
+// remove floor lifted, exactly like Remove — so the caller's subsequent
+// version draw (against the nil base, flooring on removeFloor) lands above
+// everything the dead value logged. Returns the base to build on.
+func (s *Store) expireBase(worker int, old *value.Value) *value.Value {
+	if old == nil || !expired(old) {
+		return old
+	}
+	s.clock.noteRemove(s.clock.tick(worker, old.Version()))
+	return nil
+}
+
 // Put applies the column modifications to key atomically, logging through
 // the given worker's log, and returns the new value's version. Neither puts
 // nor the Data slices are retained: both are copied into the packed value
@@ -451,14 +685,118 @@ func (s *Store) Put(worker int, key []byte, puts []value.ColPut) uint64 {
 		defer mu.Unlock()
 	}
 	var ver uint64
+	var delta int64
+	var size int
+	insert := false
 	s.tree.Update(key, func(old *value.Value) *value.Value {
-		ver = s.nextVersion(worker, old)
-		return value.BuildAt(old, puts, ver, uint32(worker))
+		base := s.expireBase(worker, old)
+		insert = base == nil
+		ver = s.nextVersion(worker, base)
+		nv := value.BuildAt(base, puts, ver, uint32(worker))
+		size = nv.Size()
+		delta = int64(size - old.Size())
+		return nv
 	})
 	if s.logs != nil {
-		s.logs.Writer(worker).AppendPut(ver, key, puts)
+		if insert {
+			s.logs.Writer(worker).AppendInsert(ver, key, puts)
+		} else {
+			s.logs.Writer(worker).AppendPut(ver, key, puts)
+		}
 	}
+	s.cache.Account(worker, delta)
+	s.cache.NotePut(worker, key, size)
+	s.cache.HelpEnforce(s.evictKey)
 	return ver
+}
+
+// PutTTL is Put with an expiry deadline (unix nanoseconds; 0 behaves like
+// Put): after expiresAt the key reads as absent (lazy expiry on every get
+// and scan) and the maintenance loop's background sweep eventually removes
+// it physically — a clean drop that writes no WAL record, since the expiry
+// rides in the logged value itself (wal.OpPutTTL) and replay re-expires it.
+// A write over a lazily-expired value builds on an absent base (see
+// expireBase): dead columns are never resurrected.
+func (s *Store) PutTTL(worker int, key []byte, puts []value.ColPut, expiresAt uint64) uint64 {
+	if s.logs != nil {
+		mu := s.lockWorker(worker)
+		defer mu.Unlock()
+	}
+	var ver uint64
+	var delta int64
+	var size int
+	insert := false
+	s.tree.Update(key, func(old *value.Value) *value.Value {
+		base := s.expireBase(worker, old)
+		insert = base == nil
+		ver = s.nextVersion(worker, base)
+		nv := value.BuildTTLAt(base, puts, ver, uint32(worker), expiresAt)
+		size = nv.Size()
+		delta = int64(size - old.Size())
+		return nv
+	})
+	if s.logs != nil {
+		if insert {
+			s.logs.Writer(worker).AppendInsertTTL(ver, key, puts, expiresAt)
+		} else {
+			s.logs.Writer(worker).AppendPutTTL(ver, key, puts, expiresAt)
+		}
+	}
+	if expiresAt != 0 {
+		s.ttlUsed.Store(true)
+	}
+	s.cache.Account(worker, delta)
+	s.cache.NotePut(worker, key, size)
+	s.cache.HelpEnforce(s.evictKey)
+	return ver
+}
+
+// Touch resets key's expiry (unix nanoseconds; 0 = never expire again)
+// without changing its columns, publishing a fresh value under a new
+// version. Returns the new version and ok false if the key is absent (or
+// already expired — touching the dead does not revive them).
+func (s *Store) Touch(worker int, key []byte, expiresAt uint64) (ver uint64, ok bool) {
+	if s.logs != nil {
+		mu := s.lockWorker(worker)
+		defer mu.Unlock()
+	}
+	var delta int64
+	var size int
+	var nv *value.Value
+	s.tree.Apply(key, func(old *value.Value) *value.Value {
+		if old == nil || old.Expired(time.Now().UnixNano()) {
+			return nil // absent or already expired: decline
+		}
+		ok = true
+		ver = s.nextVersion(worker, old)
+		nv = value.BuildTTLAt(old, nil, ver, uint32(worker), expiresAt)
+		size = nv.Size()
+		delta = int64(size - old.Size())
+		return nv
+	})
+	if !ok {
+		return 0, false
+	}
+	if s.logs != nil {
+		// Log the touch column-complete: the record carries every column of
+		// the republished value, not an empty delta. A zero-column OpPutTTL
+		// would replay as an empty value if the log holding the key's
+		// original put vanished wholesale (ROADMAP's vanished-log hole) —
+		// recovering found-but-empty, worse than absent. Carrying the full
+		// value keeps Touch out of that hole entirely; the columns alias
+		// nv's immutable allocation and are copied into the log buffer.
+		puts := make([]value.ColPut, nv.NumCols())
+		for i := range puts {
+			puts[i] = value.ColPut{Col: i, Data: nv.Col(i)}
+		}
+		s.logs.Writer(worker).AppendPutTTL(ver, key, puts, expiresAt)
+	}
+	if expiresAt != 0 {
+		s.ttlUsed.Store(true)
+	}
+	s.cache.Account(worker, delta)
+	s.cache.NotePut(worker, key, size)
+	return ver, true
 }
 
 // CasPut is a versioned conditional Put (Deuteronomy-style latch-free
@@ -478,21 +816,44 @@ func (s *Store) CasPut(worker int, key []byte, expect uint64, puts []value.ColPu
 		defer mu.Unlock()
 	}
 	var cur, newVer uint64
+	var delta int64
+	var size int
+	insert := false
 	s.tree.Apply(key, func(old *value.Value) *value.Value {
-		cur = old.Version() // Version is nil-safe: 0 for absent keys
+		// A lazily-expired value reads as absent everywhere, so CAS must
+		// see it as absent too: cur = 0, and expect == 0 (create-if-absent)
+		// succeeds over it instead of livelocking on a version no read can
+		// observe.
+		base := old
+		if old != nil && expired(old) {
+			base = nil
+		}
+		cur = base.Version() // Version is nil-safe: 0 for absent keys
 		if cur != expect {
 			return nil
 		}
 		ok = true
-		newVer = s.nextVersion(worker, old)
-		return value.BuildAt(old, puts, newVer, uint32(worker))
+		base = s.expireBase(worker, old)
+		insert = base == nil
+		newVer = s.nextVersion(worker, base)
+		nv := value.BuildAt(base, puts, newVer, uint32(worker))
+		size = nv.Size()
+		delta = int64(size - old.Size())
+		return nv
 	})
 	if !ok {
 		return cur, false
 	}
 	if s.logs != nil {
-		s.logs.Writer(worker).AppendPut(newVer, key, puts)
+		if insert {
+			s.logs.Writer(worker).AppendInsert(newVer, key, puts)
+		} else {
+			s.logs.Writer(worker).AppendPut(newVer, key, puts)
+		}
 	}
+	s.cache.Account(worker, delta)
+	s.cache.NotePut(worker, key, size)
+	s.cache.HelpEnforce(s.evictKey)
 	return newVer, true
 }
 
@@ -530,14 +891,36 @@ func (s *Store) PutBatchInto(worker int, keys [][]byte, puts [][]value.ColPut, s
 	if cap(sc.vers) < n {
 		sc.vers = make([]uint64, n)
 	}
+	if cap(sc.sizes) < n {
+		sc.sizes = make([]int, n)
+	}
 	sc.vers = sc.vers[:n]
+	sc.sizes = sc.sizes[:n]
+	if cap(sc.inserts) < n {
+		sc.inserts = make([]bool, n)
+	}
+	sc.inserts = sc.inserts[:n]
+	var delta int64
 	s.tree.PutBatchInto(keys, &sc.core, func(i int, old *value.Value) *value.Value {
-		ver := s.nextVersion(worker, old)
+		base := s.expireBase(worker, old)
+		sc.inserts[i] = base == nil
+		ver := s.nextVersion(worker, base)
 		sc.vers[i] = ver
-		return value.BuildAt(old, puts[i], ver, uint32(worker))
+		nv := value.BuildAt(base, puts[i], ver, uint32(worker))
+		sc.sizes[i] = nv.Size()
+		delta += int64(nv.Size() - old.Size())
+		return nv
 	})
 	if s.logs != nil {
-		s.logs.Writer(worker).AppendPutBatch(keys, puts, sc.vers)
+		s.logs.Writer(worker).AppendPutBatch(keys, puts, sc.vers, sc.inserts)
+	}
+	// One accounting add covers the whole batch; admissions stay per key.
+	s.cache.Account(worker, delta)
+	if s.cache.EvictionEnabled() {
+		for i := range keys {
+			s.cache.NotePut(worker, keys[i], sc.sizes[i])
+		}
+		s.cache.HelpEnforce(s.evictKey)
 	}
 	return sc.vers
 }
@@ -559,6 +942,8 @@ func (s *Store) Remove(worker int, key []byte) bool {
 		defer mu.Unlock()
 	}
 	var ver uint64
+	var delta int64
+	wasExpired := false
 	_, ok := s.tree.RemoveWith(key, func(old *value.Value) {
 		ver = s.clock.tick(worker, old.Version())
 		// Lift the remove floor while the border lock is still held: the
@@ -568,24 +953,51 @@ func (s *Store) Remove(worker int, key []byte) bool {
 		// let that insert draw a version below the remove's timestamp and
 		// replay in the wrong order.
 		s.clock.noteRemove(ver)
+		delta = -int64(old.Size())
+		wasExpired = expired(old)
 	})
-	if ok && s.logs != nil {
-		s.logs.Writer(worker).AppendRemove(ver, key)
+	if ok {
+		if s.logs != nil {
+			s.logs.Writer(worker).AppendRemove(ver, key)
+		}
+		s.cache.Account(worker, delta)
+		s.cache.NoteRemove(worker, key)
 	}
-	return ok
+	// A lazily-expired value reads as absent on every path, so removing it
+	// must report "did not exist" too (memcached's delete-of-expired is a
+	// miss). The physical removal and its log record still happen above —
+	// the remove is correct cleanup either way.
+	return ok && !wasExpired
 }
+
+// maxRangeScanVisits bounds how many entries one range query may visit,
+// results and lazily-expired skips combined. Without it a small-n range
+// whose start lands in a large freshly-lapsed region would walk the whole
+// dead span inside one request (the sweep reclaims it only incrementally) —
+// unbounded CPU for a cheap-looking query. Hitting the cap needs tens of
+// thousands of consecutive expired entries; the documented cost is that
+// such a query may return short before the sweep catches up.
+const maxRangeScanVisits = 1 << 16
 
 // GetRange returns up to n pairs starting at the first key >= start,
 // retrieving the requested columns (nil = all). Like the paper's getrange it
 // is not atomic with respect to concurrent inserts and updates (§3).
+// Lazily-expired values are skipped without counting toward n; a scan
+// crossing an extremely large expired region (see maxRangeScanVisits) may
+// return fewer than n pairs before the background sweep reclaims it.
 func (s *Store) GetRange(start []byte, n int, cols []int) []Pair {
 	if n <= 0 {
 		return nil
 	}
 	out := make([]Pair, 0, n)
+	visited := 0
 	s.tree.Scan(start, func(k []byte, v *value.Value) bool {
+		visited++
+		if expired(v) {
+			return visited < maxRangeScanVisits // lazily dead: skip without counting toward n
+		}
 		out = append(out, Pair{Key: k, Cols: pickCols(v, cols)})
-		return len(out) < n
+		return len(out) < n && visited < maxRangeScanVisits
 	})
 	return out
 }
@@ -636,7 +1048,12 @@ func (s *Store) GetRangeInto(start []byte, n int, cols []int, sc *RangeScratch) 
 		return nil
 	}
 	base := len(sc.pairs)
+	visited := 0
 	sc.kbuf = s.tree.ScanInto(start, sc.kbuf, func(k []byte, v *value.Value) bool {
+		visited++
+		if expired(v) {
+			return visited < maxRangeScanVisits // lazily dead: skip, not counted toward n
+		}
 		ks := len(sc.keys)
 		sc.keys = append(sc.keys, k...)
 		cs := len(sc.cols)
@@ -645,7 +1062,7 @@ func (s *Store) GetRangeInto(start []byte, n int, cols []int, sc *RangeScratch) 
 			Key:  sc.keys[ks:len(sc.keys):len(sc.keys)],
 			Cols: sc.cols[cs:len(sc.cols):len(sc.cols)],
 		})
-		return len(sc.pairs)-base < n
+		return len(sc.pairs)-base < n && visited < maxRangeScanVisits
 	})
 	return sc.pairs[base:len(sc.pairs):len(sc.pairs)]
 }
@@ -707,6 +1124,11 @@ func (s *Store) CheckpointN(parts int) (path string, n int, err error) {
 
 	bounds := s.partitionBounds(parts)
 	parts = len(bounds) + 1
+	// Expired values are dead weight: skip them so checkpoints shrink to the
+	// live set and recovery never resurrects them (their pre-checkpoint log
+	// records are skipped wholesale by the ts <= startTS rule). The deadline
+	// is sampled once so every part applies the same cut.
+	ckptNow := time.Now().UnixNano()
 	n, err = checkpoint.WriteParts(s.fsys, s.cfg.Dir, startTS, parts, func(k int, emit func(checkpoint.Entry) error) error {
 		var start, end []byte
 		if k > 0 {
@@ -720,6 +1142,9 @@ func (s *Store) CheckpointN(parts int) (path string, n int, err error) {
 		s.tree.ScanInto(start, buf, func(key []byte, v *value.Value) bool {
 			if end != nil && bytes.Compare(key, end) >= 0 {
 				return false // next part's range
+			}
+			if v.Expired(ckptNow) {
+				return true // dead by TTL: checkpoints carry only live data
 			}
 			if err := emit(checkpoint.Entry{Key: key, Value: v}); err != nil {
 				emitErr = err
@@ -805,6 +1230,7 @@ func (s *Store) FlushStats() (errs int64, last error) {
 func (s *Store) Close() error {
 	close(s.stop)
 	s.wg.Wait()
+	s.mgr.Unregister(s.evictH)
 	s.tree.Maintain()
 	if s.logs != nil {
 		s.logs.Mark(s.clock.max())

@@ -1,0 +1,223 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/value"
+	"repro/internal/vfs"
+)
+
+// Cache-mode crash torture: the same crash-at-every-boundary harness as
+// torture_test.go, with the maintenance loop's eviction and TTL sweep
+// running (invoked deterministically) between write phases. The model
+// extends the base invariants:
+//
+//   - Evictions and expirations are clean drops (no WAL record), so a
+//     dropped key may legally be ABSENT after recovery (its checkpoint
+//     omits it and pre-checkpoint records do not replay) or PRESENT at an
+//     applied state (its log record replayed) — but never at a state that
+//     mixes versions and data, and never below the acknowledged state when
+//     it is present.
+//   - A key never dropped keeps the full guarantee: crash during eviction
+//     must not lose any acked write of a non-evicted key.
+//
+// The observation point is the live store right after each maintenance
+// pass: any tracked key whose last applied state is not a tombstone and
+// that no longer appears in the raw tree was dropped by the pass.
+
+// tortureCacheMaxBytes keeps ~half of the phase-1 population resident, so
+// every maintenance pass actually evicts.
+const tortureCacheMaxBytes = 8 << 10
+
+// observeDrops marks histories whose keys the maintenance pass just
+// dropped (evicted or swept). The raw tree is inspected so lazy expiry
+// cannot mask a physically-present key.
+func (tt *torture) observeDrops() {
+	for k, h := range tt.hist {
+		if len(h.states) == 0 || h.states[len(h.states)-1].tomb || h.dropped {
+			continue
+		}
+		if _, ok := tt.s.tree.Get([]byte(k)); !ok {
+			h.dropped = true
+		}
+	}
+}
+
+// putTTL applies a TTL put and records the resulting state from its inputs
+// (an already-expired put is invisible to Get, so reading back would fail).
+func (tt *torture) putTTL(key, val string, expiresAt uint64) {
+	h := tt.histOf(key)
+	ver := tt.s.PutTTL(h.worker, []byte(key), []value.ColPut{{Col: 0, Data: []byte(val)}}, expiresAt)
+	h.states = append(h.states, kvState{ver: ver, data: val})
+	h.dropped = false
+}
+
+// cacheWorkload drives puts, TTL puts, removes, checkpoints, and explicit
+// maintenance passes (eviction + sweep) with acknowledgment points between
+// them, under a byte budget small enough that every pass evicts.
+func (tt *torture) cacheWorkload() error {
+	now := uint64(time.Now().UnixNano())
+	filler := strings.Repeat("0123456789abcdef", 16) // ~256 B values
+	val := func(tag string, i int) string {
+		return fmt.Sprintf("%s-%02d-%s", tag, i, filler)
+	}
+	// Phase 1: populate to ~2x the budget, ack, evict, checkpoint. The
+	// checkpoint omits everything the pass evicted.
+	for i := 0; i < 40; i++ {
+		tt.putSimple(fmt.Sprintf("c%02d", i), val("r1", i))
+	}
+	if err := tt.ack(); err != nil {
+		return err
+	}
+	tt.s.cacheMaintain()
+	tt.observeDrops()
+	if err := tt.ckpt(); err != nil {
+		return err
+	}
+	// Phase 2: TTL writes — live ones and an already-lapsed one — then a
+	// maintenance pass that sweeps the lapsed key and keeps evicting.
+	for i := 0; i < 6; i++ {
+		tt.putTTL(fmt.Sprintf("e%02d", i), val("r2", i), now+uint64(time.Hour))
+	}
+	tt.putTTL("x00", val("r2x", 0), now-uint64(time.Second))
+	if err := tt.ack(); err != nil {
+		return err
+	}
+	tt.s.cacheMaintain()
+	tt.observeDrops()
+	// Phase 3: removes of (possibly evicted) keys, fresh writes past the
+	// budget, another pass, a second checkpoint, and a flush-acked tail.
+	tt.remove("c03")
+	tt.remove("c27")
+	for i := 0; i < 16; i++ {
+		tt.putSimple(fmt.Sprintf("d%02d", i), val("r3", i))
+	}
+	tt.s.cacheMaintain()
+	tt.observeDrops()
+	if err := tt.ckpt(); err != nil {
+		return err
+	}
+	for i := 0; i < 6; i++ {
+		tt.putSimple(fmt.Sprintf("t%02d", i), val("r4", i))
+	}
+	// A multi-column value, deterministically evicted, then partially
+	// re-put: the insert record (wal.OpInsert) must keep replay from
+	// merging the dropped value's other column back in — the exact-state
+	// check catches any mixing at every crash boundary.
+	tt.put("mc", value.ColPut{Col: 0, Data: []byte("mc-c0")}, value.ColPut{Col: 1, Data: []byte("mc-c1")})
+	if !tt.s.evictKey([]byte("mc")) {
+		return fmt.Errorf("deterministic evict of mc failed")
+	}
+	tt.histOf("mc").dropped = true
+	tt.putSimple("mc", "mc-fresh-col0-only")
+	if err := tt.ack(); err != nil {
+		return err
+	}
+	// Phase 4: applied but never acknowledged.
+	tt.putSimple("pending-cache", val("r5", 0))
+	return nil
+}
+
+// verifyCacheMode re-opens one crash image in cache mode and checks the
+// cache-specific guarantees: the byte bound holds before Open returns, and
+// every surviving key carries an exact applied state (recovery-time
+// eviction makes absence unfalsifiable, so only presence is checked).
+func (tt *torture) verifyCacheMode(img *vfs.MemFS, label string) {
+	t := tt.t
+	r, err := Open(Config{
+		Dir: tortureDir, Workers: tt.workers, FS: img, SyncWrites: true,
+		FlushInterval: time.Hour, MaintainEvery: -1, CheckpointParts: tt.parts,
+		MaxBytes: tortureCacheMaxBytes,
+	})
+	if err != nil {
+		t.Fatalf("%s: cache-mode recovery failed: %v", label, err)
+	}
+	defer r.Close()
+	if live := r.CacheStats().BytesLive; live > tortureCacheMaxBytes {
+		t.Fatalf("%s: recovered bytes_live %d exceeds the %d bound", label, live, tortureCacheMaxBytes)
+	}
+	r.Tree().Scan(nil, func(k []byte, v *value.Value) bool {
+		h := tt.hist[string(k)]
+		if h == nil {
+			t.Fatalf("%s: recovered key %q that was never written", label, k)
+		}
+		for _, st := range h.states {
+			if !st.tomb && st.ver == v.Version() {
+				if got := joinCols(v.Cols()); got != st.data {
+					t.Fatalf("%s: key %q version %d recovered %q, applied %q", label, k, v.Version(), got, st.data)
+				}
+				return true
+			}
+		}
+		t.Fatalf("%s: key %q recovered at version %d, matching no applied state", label, k, v.Version())
+		return false
+	})
+}
+
+// runTortureCache executes the cache workload with a crash armed at
+// boundary crashAt (0 = disarmed) and verifies every crash image twice:
+// once with the full model (no recovery-time eviction), once in cache mode
+// (bound enforcement + exact states).
+func runTortureCache(t *testing.T, crashAt int) (ops int, crashed bool) {
+	mem := vfs.NewMemFS()
+	fault := vfs.NewFault(mem)
+	fault.CrashAt(crashAt)
+	tt := &torture{t: t, mem: mem, fault: fault, hist: map[string]*keyHist{}, workers: 1, parts: 1}
+	s, err := Open(Config{
+		Dir: tortureDir, Workers: 1, FS: fault, SyncWrites: true,
+		FlushInterval: time.Hour, MaintainEvery: -1, CheckpointParts: 1,
+		MaxBytes: tortureCacheMaxBytes,
+	})
+	if err != nil {
+		if !errors.Is(err, vfs.ErrCrashed) {
+			t.Fatalf("crashAt=%d: open: %v", crashAt, err)
+		}
+	} else {
+		tt.s = s
+		if werr := tt.cacheWorkload(); werr != nil && !errors.Is(werr, vfs.ErrCrashed) {
+			t.Fatalf("crashAt=%d: workload: %v", crashAt, werr)
+		}
+		if crashAt == 0 && !fault.Crashed() {
+			// The disarmed run must actually exercise the policy, or the
+			// armed runs torture nothing.
+			if st := s.CacheStats(); st.Evictions == 0 || st.Expirations == 0 {
+				t.Fatalf("cache workload under-exercised the policy: %+v", st)
+			}
+		}
+		if cerr := s.Close(); cerr == nil && !fault.Crashed() {
+			tt.promote()
+		}
+	}
+	ops, crashed = fault.Ops(), fault.Crashed()
+	for _, img := range crashImages {
+		c := mem.Clone()
+		c.Crash(img.keep)
+		tt.verify(c, fmt.Sprintf("cache/crashAt=%d/%s", crashAt, img.name))
+		c2 := mem.Clone()
+		c2.Crash(img.keep)
+		tt.verifyCacheMode(c2, fmt.Sprintf("cachemode/crashAt=%d/%s", crashAt, img.name))
+	}
+	return ops, crashed
+}
+
+// TestCrashTortureEviction enumerates every filesystem boundary of the
+// cache-mode workload — eviction and sweep passes interleaved with acks and
+// checkpoints — and crashes at each one: no acked non-dropped write is ever
+// lost, dropped keys recover only to exact applied states, and the bound
+// re-establishes on recovery.
+func TestCrashTortureEviction(t *testing.T) {
+	total, crashed := runTortureCache(t, 0)
+	if crashed {
+		t.Fatal("disarmed run crashed")
+	}
+	// The disarmed run must actually have exercised the policy, or this
+	// whole test tortures nothing.
+	t.Logf("cache workload executes %d crash boundaries x %d images", total, len(crashImages))
+	for i := 1; i <= total; i++ {
+		runTortureCache(t, i)
+	}
+}

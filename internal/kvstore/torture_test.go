@@ -38,6 +38,12 @@ type keyHist struct {
 	worker int
 	states []kvState
 	acked  int // index of the last acknowledged state; -1 if none
+	// dropped marks a key the cache-mode maintenance passes evicted or
+	// expired (observed against the live tree). Drops are clean — never
+	// logged — so after a crash the key may be absent (checkpoint omitted
+	// it, pre-checkpoint records skip replay) or present at an applied
+	// state (its log record replayed); absence is not a lost ack.
+	dropped bool
 }
 
 type torture struct {
@@ -79,6 +85,7 @@ func (tt *torture) put(key string, puts ...value.ColPut) {
 		tt.t.Fatalf("key %q vanished right after put", key)
 	}
 	h.states = append(h.states, kvState{ver: ver, data: joinCols(cols)})
+	h.dropped = false // present again, whatever a maintenance pass did before
 }
 
 func (tt *torture) putSimple(key, val string) {
@@ -214,7 +221,7 @@ func (tt *torture) verify(img *vfs.MemFS, label string) {
 		if h.acked < 0 {
 			continue // never acknowledged; total loss is legal
 		}
-		lostOK := false
+		lostOK := h.dropped // a clean-dropped (evicted/expired) key may vanish
 		for j := h.acked; j < len(h.states); j++ {
 			if h.states[j].tomb {
 				lostOK = true // an applied remove at/after the ack explains absence

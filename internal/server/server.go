@@ -41,6 +41,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/kvstore"
 	"repro/internal/value"
@@ -239,7 +240,7 @@ func (s *Server) serveV1(sess *kvstore.Session, r *bufio.Reader, w *bufio.Writer
 			// bytes): no per-request recovery is possible.
 			return
 		}
-		s.executeBatch(sess, reqs, claimed, sc)
+		s.executeBatch(sess, reqs, claimed, sc, false)
 		if err := wire.WriteResponsesInto(w, sc.resps, &sc.enc); err != nil {
 			return
 		}
@@ -335,7 +336,7 @@ func (s *Server) serveV2(conn net.Conn, sess *kvstore.Session, r *bufio.Reader, 
 	}()
 	// Executor (this goroutine): runs decoded requests against the store.
 	for sc := range decoded {
-		s.executeBatch(sess, sc.reqs, sc.claimed, sc)
+		s.executeBatch(sess, sc.reqs, sc.claimed, sc, true)
 		executed <- sc
 	}
 	close(executed)
@@ -349,8 +350,10 @@ func (s *Server) serveV2(conn net.Conn, sess *kvstore.Session, r *bufio.Reader, 
 // request fails alone instead of killing the connection mid-batch. Runs of
 // consecutive OpGets (or OpPuts) of length >= minBatchRun are served
 // through the session's batched lookup (or batched put); everything else
-// executes one at a time.
-func (s *Server) executeBatch(sess *kvstore.Session, reqs []wire.Request, claimed int, sc *connScratch) {
+// executes one at a time. ttlOK admits the cache-mode operations
+// (OpPutTTL/OpTouch), which are v2 surface: the v1 and UDP paths answer
+// them with StatusError, leaving v1 semantics untouched.
+func (s *Server) executeBatch(sess *kvstore.Session, reqs []wire.Request, claimed int, sc *connScratch, ttlOK bool) {
 	if claimed < len(reqs) {
 		claimed = len(reqs)
 	}
@@ -377,7 +380,7 @@ func (s *Server) executeBatch(sess *kvstore.Session, reqs []wire.Request, claime
 				continue
 			}
 		}
-		sc.resps[i] = s.execute(sess, &reqs[i], sc)
+		sc.resps[i] = s.execute(sess, &reqs[i], sc, ttlOK)
 		i++
 	}
 	for i := len(reqs); i < claimed; i++ {
@@ -438,7 +441,7 @@ func (s *Server) executePutRun(sess *kvstore.Session, reqs []wire.Request, resps
 
 // execute serves one request. Responses may alias sc's arenas and the
 // request's frame buffer; they are valid until the next message.
-func (s *Server) execute(sess *kvstore.Session, r *wire.Request, sc *connScratch) wire.Response {
+func (s *Server) execute(sess *kvstore.Session, r *wire.Request, sc *connScratch, ttlOK bool) wire.Response {
 	switch r.Op {
 	case wire.OpGet:
 		// Gets report the value's version so clients can chain OpCas off a
@@ -475,6 +478,27 @@ func (s *Server) execute(sess *kvstore.Session, r *wire.Request, sc *connScratch
 			return wire.Response{Status: wire.StatusConflict, Version: ver}
 		}
 		return wire.Response{Status: wire.StatusOK, Version: ver}
+	case wire.OpPutTTL:
+		if !ttlOK {
+			s.erroredRequests.Add(1)
+			return wire.Response{Status: wire.StatusError}
+		}
+		sc.puts = sc.puts[:0]
+		for _, p := range r.Puts {
+			sc.puts = append(sc.puts, value.ColPut{Col: p.Col, Data: p.Data})
+		}
+		ver := sess.PutTTL(r.Key, sc.puts, expiryFromTTL(r.TTL))
+		return wire.Response{Status: wire.StatusOK, Version: ver}
+	case wire.OpTouch:
+		if !ttlOK {
+			s.erroredRequests.Add(1)
+			return wire.Response{Status: wire.StatusError}
+		}
+		ver, ok := sess.Touch(r.Key, expiryFromTTL(r.TTL))
+		if !ok {
+			return wire.Response{Status: wire.StatusNotFound}
+		}
+		return wire.Response{Status: wire.StatusOK, Version: ver}
 	case wire.OpRemove:
 		if sess.Remove(r.Key) {
 			return wire.Response{Status: wire.StatusOK}
@@ -491,23 +515,40 @@ func (s *Server) execute(sess *kvstore.Session, r *wire.Request, sc *connScratch
 		}
 		return wire.Response{Status: wire.StatusOK, Pairs: sc.pairs[start:len(sc.pairs):len(sc.pairs)]}
 	case wire.OpStats:
-		return s.statsResponse()
+		return s.statsResponse(ttlOK)
 	default:
 		return wire.Response{Status: wire.StatusError}
 	}
 }
 
+// expiryFromTTL converts wire TTL seconds into the store's absolute expiry
+// deadline in unix nanoseconds (0 stays 0: never expires).
+func expiryFromTTL(ttl uint32) uint64 {
+	if ttl == 0 {
+		return 0
+	}
+	return uint64(time.Now().UnixNano()) + uint64(ttl)*uint64(time.Second)
+}
+
 // statsResponse reports store size, tree operation counters, batching
-// counters, and logging health as metric name/value pairs. flush_errors is
-// the count of failed log flushes (background group commits included); a
-// non-zero value means acknowledged puts may not be durable.
-func (s *Server) statsResponse() wire.Response {
+// counters, cache-mode health, and logging health as metric name/value
+// pairs. flush_errors is the count of failed log flushes (background group
+// commits included); a non-zero value means acknowledged puts may not be
+// durable — on v2 connections flush_last_error carries the most recent
+// failure's text (the one non-numeric stat; it is withheld from v1 and UDP
+// responses because pre-existing v1 clients parse every stat as an integer
+// and would reject the whole response). bytes_live is the
+// accounted packed-value footprint; evictions, expirations, ghost_hits, and
+// admit_drops are the cache-mode counters (zero unless MaxBytes/TTLs are in
+// use).
+func (s *Server) statsResponse(v2 bool) wire.Response {
 	st := s.store.Stats()
-	flushErrs, _ := s.store.FlushStats()
+	cs := s.store.CacheStats()
+	flushErrs, flushLast := s.store.FlushStats()
 	metric := func(name string, v int64) wire.Pair {
 		return wire.Pair{Key: []byte(name), Cols: [][]byte{[]byte(strconv.FormatInt(v, 10))}}
 	}
-	return wire.Response{Status: wire.StatusOK, Pairs: []wire.Pair{
+	pairs := []wire.Pair{
 		metric("keys", int64(s.store.Len())),
 		metric("splits", st.Splits),
 		metric("layer_creations", st.LayerCreations),
@@ -519,8 +560,19 @@ func (s *Server) statsResponse() wire.Response {
 		metric("batched_gets", s.batchedGets.Load()),
 		metric("batched_puts", s.batchedPuts.Load()),
 		metric("errored_requests", s.erroredRequests.Load()),
+		metric("bytes_live", cs.BytesLive),
+		metric("max_bytes", s.store.MaxBytes()),
+		metric("evictions", cs.Evictions),
+		metric("expirations", cs.Expirations),
+		metric("ghost_hits", cs.GhostHits),
+		metric("admit_drops", cs.AdmitDrops),
 		metric("flush_errors", flushErrs),
-	}}
+	}
+	if v2 && flushLast != nil {
+		pairs = append(pairs, wire.Pair{Key: []byte("flush_last_error"),
+			Cols: [][]byte{[]byte(flushLast.Error())}})
+	}
+	return wire.Response{Status: wire.StatusOK, Pairs: pairs}
 }
 
 // Close stops accepting, closes all connections and UDP sockets, and waits

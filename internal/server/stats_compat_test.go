@@ -1,0 +1,86 @@
+package server
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/kvstore"
+	"repro/internal/vfs"
+)
+
+// TestFlushLastErrorOnlyOnV2 pins the stats compatibility rule: the one
+// string-valued metric (flush_last_error) is served only on v2 connections.
+// Pre-existing v1 client binaries parse every stats value with ParseInt and
+// reject the whole response on the first non-numeric one — exactly when the
+// operator most needs stats — so the v1 response must stay all-numeric even
+// while a flush error is latched.
+func TestFlushLastErrorOnlyOnV2(t *testing.T) {
+	mem := vfs.NewMemFS()
+	fault := vfs.NewFault(mem)
+	store, err := kvstore.Open(kvstore.Config{
+		Dir: "/data", Workers: 1, FS: fault, SyncWrites: true,
+		FlushInterval: time.Hour, MaintainEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(store, 1)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		store.Close()
+	})
+
+	// Latch a flush failure: CrashAt resets the boundary counter, so arming
+	// at 1 makes the very next filesystem op (the flush's write) fail.
+	store.PutSimple(0, []byte("k"), []byte("v"))
+	fault.CrashAt(1)
+	if err := store.Flush(); err == nil {
+		t.Fatal("flush unexpectedly succeeded")
+	}
+	if n, last := store.FlushStats(); n == 0 || last == nil {
+		t.Fatalf("flush error not latched: n=%d last=%v", n, last)
+	}
+
+	addr := srv.Addr().String()
+	v1, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1.Close()
+	rawV1, err := v1.StatsRaw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, present := rawV1["flush_last_error"]; present {
+		t.Fatal("v1 stats carried the string-valued flush_last_error")
+	}
+	for k, v := range rawV1 { // an old binary's ParseInt loop must succeed
+		if _, err := strconv.ParseInt(v, 10, 64); err != nil {
+			t.Fatalf("v1 stat %q=%q is not numeric", k, v)
+		}
+	}
+	if rawV1["flush_errors"] == "0" {
+		t.Fatal("flush_errors did not report the failure")
+	}
+
+	v2, err := client.DialConn(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	rawV2, err := v2.StatsRaw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg, present := rawV2["flush_last_error"]; !present || msg == "" {
+		t.Fatalf("v2 stats missing flush_last_error: %v", rawV2)
+	}
+	if _, err := v2.Stats(); err != nil { // numeric view skips the string
+		t.Fatalf("v2 numeric Stats failed on the string metric: %v", err)
+	}
+}

@@ -80,7 +80,7 @@ func (s *Server) serveUDP(l *udpListener) {
 		if err != nil {
 			continue
 		}
-		s.executeBatch(sess, reqs, len(reqs), sc)
+		s.executeBatch(sess, reqs, len(reqs), sc, false)
 		out, err := wire.AppendResponses(sc.enc[:0], sc.resps)
 		if err != nil {
 			continue

@@ -34,14 +34,16 @@ import (
 //	 8  size    u32  total bytes of the allocation
 //	12  ncols   u32
 //	16  worker  u32  worker whose clock issued the version
-//	20  end[ncols] u32  cumulative column end offsets into the data section
-//	20+4*ncols  column data, concatenated
+//	20  expiry  u64  unix nanoseconds after which the value is dead; 0 = never
+//	28  end[ncols] u32  cumulative column end offsets into the data section
+//	28+4*ncols  column data, concatenated
 const (
 	offVersion = 0
 	offSize    = 8
 	offNCols   = 12
 	offWorker  = 16
-	hdrSize    = 20
+	offExpiry  = 20
+	hdrSize    = 28
 )
 
 // Value is an immutable multi-column value. It is an opaque header over a
@@ -125,6 +127,34 @@ func (v *Value) Worker() uint32 {
 	return binary.LittleEndian.Uint32(v.hdr[offWorker:])
 }
 
+// Size returns the value's packed allocation size in bytes (0 for nil). It
+// is the figure cache-mode byte accounting charges per value: header, offset
+// table, and column data in one number, read straight from the header.
+func (v *Value) Size() int {
+	if v == nil {
+		return 0
+	}
+	return int(binary.LittleEndian.Uint32(v.hdr[offSize:]))
+}
+
+// ExpiresAt returns the value's expiry time in unix nanoseconds, or 0 for a
+// value that never expires. Expiry rides in the packed header so it survives
+// the log (wal.OpPutTTL) and checkpoints, and so reads can test it without
+// touching any structure beyond the value itself.
+func (v *Value) ExpiresAt() uint64 {
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(v.hdr[offExpiry:])
+}
+
+// Expired reports whether the value carries an expiry at or before now
+// (unix nanoseconds). A zero expiry never expires.
+func (v *Value) Expired(now int64) bool {
+	e := v.ExpiresAt()
+	return e != 0 && e <= uint64(now)
+}
+
 // NumCols returns the number of columns.
 func (v *Value) NumCols() int {
 	if v == nil {
@@ -187,8 +217,16 @@ func colData(old *Value, puts []ColPut, i int) []byte {
 //
 // This is the write path's only allocation (§4.7): the kvstore calls it
 // under the owning border node's lock with a version from the worker's
-// clock.
+// clock. The built value carries no expiry — a put without a TTL makes the
+// key persistent, exactly as its log record (wal.OpPut) will replay it.
 func BuildAt(old *Value, puts []ColPut, version uint64, worker uint32) *Value {
+	return BuildTTLAt(old, puts, version, worker, 0)
+}
+
+// BuildTTLAt is BuildAt with an expiry timestamp (unix nanoseconds, 0 =
+// never) stored in the packed header. With puts == nil it rebuilds old's
+// columns unchanged under the new version and expiry — the Touch operation.
+func BuildTTLAt(old *Value, puts []ColPut, version uint64, worker uint32, expiry uint64) *Value {
 	width := old.NumCols()
 	for _, p := range puts {
 		if p.Col < 0 {
@@ -207,6 +245,7 @@ func BuildAt(old *Value, puts []ColPut, version uint64, worker uint32) *Value {
 	binary.LittleEndian.PutUint32(b[offSize:], uint32(total))
 	binary.LittleEndian.PutUint32(b[offNCols:], uint32(width))
 	binary.LittleEndian.PutUint32(b[offWorker:], worker)
+	binary.LittleEndian.PutUint64(b[offExpiry:], expiry)
 	off := 0
 	data := b[hdrSize+4*width:]
 	for i := 0; i < width; i++ {
@@ -226,6 +265,12 @@ func Apply(old *Value, puts []ColPut) *Value {
 // ApplyAt is Apply with an explicit new version, used by log replay.
 func ApplyAt(old *Value, puts []ColPut, version uint64) *Value {
 	return BuildAt(old, puts, version, 0)
+}
+
+// ApplyTTLAt is ApplyAt carrying an expiry, used to replay wal.OpPutTTL
+// records and to load checkpoint entries that recorded one.
+func ApplyTTLAt(old *Value, puts []ColPut, version uint64, expiry uint64) *Value {
+	return BuildTTLAt(old, puts, version, 0, expiry)
 }
 
 // Equal reports whether two values have identical columns (versions are not

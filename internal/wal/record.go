@@ -46,14 +46,45 @@ const (
 	// exactly as the paper intends: an update beyond t may causally depend
 	// on an update some other log never made durable.
 	OpMark Op = 3
+	// OpPutTTL is OpPut with an expiry timestamp (unix nanoseconds) in the
+	// payload, so replay rebuilds the value with its TTL intact. A Touch is
+	// logged as a column-complete OpPutTTL (every column of the republished
+	// value), so the record stands alone even if the log holding the key's
+	// original put is lost wholesale.
+	OpPutTTL Op = 4
+	// OpInsert is a put that executed against an absent (or lazily-expired)
+	// base: the resulting value was built from the record's columns alone,
+	// so replay applies it as a REPLACEMENT, not a merge. This is what
+	// keeps cache mode's clean drops sound: evictions and expiry sweeps
+	// write no record, so the records of a dropped value may survive in the
+	// log — and the first write after the drop executes against nil. Were
+	// it replayed as a merge (like OpPut), recovery would fold the dropped
+	// value's stale columns into the new one, fabricating a mixed state no
+	// serial execution produced. The insert record anchors the key's replay
+	// chain instead: whatever stale records precede it, the version guard
+	// applies them first and the insert then replaces them wholesale,
+	// reproducing exactly the value the live store built. (A clean drop
+	// with no subsequent write may still replay the dropped key back, which
+	// cache semantics permit; the store re-expires or re-evicts it.)
+	OpInsert Op = 5
+	// OpInsertTTL is OpInsert carrying an expiry, the insert counterpart of
+	// OpPutTTL.
+	OpInsertTTL Op = 6
 )
+
+// IsInsert reports whether op replays as a replacement (see OpInsert).
+func (op Op) IsInsert() bool { return op == OpInsert || op == OpInsertTTL }
+
+// HasExpiry reports whether op's payload carries an expiry timestamp.
+func (op Op) HasExpiry() bool { return op == OpPutTTL || op == OpInsertTTL }
 
 // Record is one logged update.
 type Record struct {
-	TS   uint64 // timestamp == value version (global monotonic counter)
-	Op   Op
-	Key  []byte
-	Puts []value.ColPut // column modifications; nil for OpRemove
+	TS     uint64 // timestamp == value version (global monotonic counter)
+	Op     Op
+	Key    []byte
+	Puts   []value.ColPut // column modifications; nil for OpRemove
+	Expiry uint64         // unix nanoseconds, OpPutTTL only; 0 = never
 }
 
 // fileMagic begins every log file.
@@ -69,18 +100,21 @@ var (
 // Layout (little endian):
 //
 //	crc32(payload) u32 | payloadLen u32 | payload
-//	payload: ts u64 | op u8 | keyLen u32 | key |
+//	payload: ts u64 | op u8 | [expiry u64, OpPutTTL/OpInsertTTL only] | keyLen u32 | key |
 //	         ncols u16 | { col u16 | dataLen u32 | data }*
 //
 // The crc and length are backfilled after the payload is written. A torn
 // tail write invalidates the crc, so recovery stops cleanly at the last
 // complete record (group commit may lose the unforced tail, which the paper
 // accepts — those puts were never durable).
-func appendRecord(buf []byte, ts uint64, op Op, key []byte, puts []value.ColPut) []byte {
+func appendRecord(buf []byte, ts uint64, op Op, key []byte, puts []value.ColPut, expiry uint64) []byte {
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // crc + len, backfilled below
 	buf = binary.LittleEndian.AppendUint64(buf, ts)
 	buf = append(buf, byte(op))
+	if op.HasExpiry() {
+		buf = binary.LittleEndian.AppendUint64(buf, expiry)
+	}
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
 	buf = append(buf, key...)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(puts)))
@@ -113,8 +147,19 @@ func parseRecord(b []byte) (Record, int) {
 	var r Record
 	r.TS = binary.LittleEndian.Uint64(payload)
 	r.Op = Op(payload[8])
-	klen := int(binary.LittleEndian.Uint32(payload[9:]))
-	p := 13
+	p := 9
+	if r.Op.HasExpiry() {
+		if p+8 > plen {
+			return Record{}, 0
+		}
+		r.Expiry = binary.LittleEndian.Uint64(payload[p:])
+		p += 8
+	}
+	if p+4 > plen {
+		return Record{}, 0
+	}
+	klen := int(binary.LittleEndian.Uint32(payload[p:]))
+	p += 4
 	if p+klen+2 > plen {
 		return Record{}, 0
 	}

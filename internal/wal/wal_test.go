@@ -14,7 +14,7 @@ import (
 
 // appendRec adapts a Record struct to the in-place encoder for tests.
 func appendRec(buf []byte, r *Record) []byte {
-	return appendRecord(buf, r.TS, r.Op, r.Key, r.Puts)
+	return appendRecord(buf, r.TS, r.Op, r.Key, r.Puts, r.Expiry)
 }
 
 func TestRecordRoundTrip(t *testing.T) {
@@ -247,7 +247,7 @@ func TestAppendPutBatchRoundTrip(t *testing.T) {
 		{{Col: 0, Data: []byte("vc")}},
 	}
 	ts := []uint64{3, 1, 2}
-	set.Writer(0).AppendPutBatch(keys, puts, ts)
+	set.Writer(0).AppendPutBatch(keys, puts, ts, []bool{false, true, false})
 	set.Close()
 	res, err := RecoverDir(dir)
 	if err != nil {
@@ -260,9 +260,13 @@ func TestAppendPutBatchRoundTrip(t *testing.T) {
 	if res.Cutoff != 3 {
 		t.Fatalf("cutoff = %d, want per-log max 3", res.Cutoff)
 	}
+	wantOps := []Op{OpPut, OpInsert, OpPut}
 	for i, r := range res.Records {
 		if r.TS != ts[i] || string(r.Key) != string(keys[i]) || len(r.Puts) != len(puts[i]) {
 			t.Fatalf("record %d mismatch: %+v", i, r)
+		}
+		if r.Op != wantOps[i] {
+			t.Fatalf("record %d op = %d, want %d (insert flag)", i, r.Op, wantOps[i])
 		}
 	}
 }

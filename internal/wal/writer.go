@@ -154,7 +154,38 @@ func (w *Writer) kickIfBig(n int) {
 // block on storage; durability arrives with the next flush (group commit).
 func (w *Writer) AppendPut(ts uint64, key []byte, puts []value.ColPut) {
 	w.mu.Lock()
-	w.buf = appendRecord(w.buf, ts, OpPut, key, puts)
+	w.buf = appendRecord(w.buf, ts, OpPut, key, puts, 0)
+	n := len(w.buf)
+	w.mu.Unlock()
+	w.kickIfBig(n)
+}
+
+// AppendPutTTL queues a put record carrying an expiry timestamp (see
+// OpPutTTL). Touch logs through here with the republished value's full
+// column set, so the record stands alone at replay.
+func (w *Writer) AppendPutTTL(ts uint64, key []byte, puts []value.ColPut, expiry uint64) {
+	w.mu.Lock()
+	w.buf = appendRecord(w.buf, ts, OpPutTTL, key, puts, expiry)
+	n := len(w.buf)
+	w.mu.Unlock()
+	w.kickIfBig(n)
+}
+
+// AppendInsert queues an insert record: a put that executed against an
+// absent or lazily-expired base and must replay as a replacement (see
+// OpInsert).
+func (w *Writer) AppendInsert(ts uint64, key []byte, puts []value.ColPut) {
+	w.mu.Lock()
+	w.buf = appendRecord(w.buf, ts, OpInsert, key, puts, 0)
+	n := len(w.buf)
+	w.mu.Unlock()
+	w.kickIfBig(n)
+}
+
+// AppendInsertTTL is AppendInsert with an expiry timestamp.
+func (w *Writer) AppendInsertTTL(ts uint64, key []byte, puts []value.ColPut, expiry uint64) {
+	w.mu.Lock()
+	w.buf = appendRecord(w.buf, ts, OpInsertTTL, key, puts, expiry)
 	n := len(w.buf)
 	w.mu.Unlock()
 	w.kickIfBig(n)
@@ -162,12 +193,18 @@ func (w *Writer) AppendPut(ts uint64, key []byte, puts []value.ColPut) {
 
 // AppendPutBatch queues one put record per key under a single buffer-lock
 // acquisition — the logging counterpart of the tree's batched put. keys,
-// puts, and ts are parallel arrays; records are encoded in input order, so
-// a key's records keep their version order within this worker's log.
-func (w *Writer) AppendPutBatch(keys [][]byte, puts [][]value.ColPut, ts []uint64) {
+// puts, ts, and insert are parallel arrays (insert may be nil: all
+// updates); records are encoded in input order, so a key's records keep
+// their version order within this worker's log. insert[i] logs key i as
+// OpInsert (built on an absent base; replays as a replacement).
+func (w *Writer) AppendPutBatch(keys [][]byte, puts [][]value.ColPut, ts []uint64, insert []bool) {
 	w.mu.Lock()
 	for i := range keys {
-		w.buf = appendRecord(w.buf, ts[i], OpPut, keys[i], puts[i])
+		op := OpPut
+		if insert != nil && insert[i] {
+			op = OpInsert
+		}
+		w.buf = appendRecord(w.buf, ts[i], op, keys[i], puts[i], 0)
 	}
 	n := len(w.buf)
 	w.mu.Unlock()
@@ -177,7 +214,7 @@ func (w *Writer) AppendPutBatch(keys [][]byte, puts [][]value.ColPut, ts []uint6
 // AppendRemove queues a remove record.
 func (w *Writer) AppendRemove(ts uint64, key []byte) {
 	w.mu.Lock()
-	w.buf = appendRecord(w.buf, ts, OpRemove, key, nil)
+	w.buf = appendRecord(w.buf, ts, OpRemove, key, nil, 0)
 	n := len(w.buf)
 	w.mu.Unlock()
 	w.kickIfBig(n)
@@ -188,7 +225,7 @@ func (w *Writer) AppendRemove(ts uint64, key []byte) {
 // been appended.
 func (w *Writer) AppendMark(ts uint64) {
 	w.mu.Lock()
-	w.buf = appendRecord(w.buf, ts, OpMark, nil, nil)
+	w.buf = appendRecord(w.buf, ts, OpMark, nil, nil, 0)
 	w.mu.Unlock()
 }
 
@@ -196,7 +233,7 @@ func (w *Writer) AppendMark(ts uint64) {
 // that already hold a Record (marks, tests).
 func (w *Writer) Append(r *Record) {
 	w.mu.Lock()
-	w.buf = appendRecord(w.buf, r.TS, r.Op, r.Key, r.Puts)
+	w.buf = appendRecord(w.buf, r.TS, r.Op, r.Key, r.Puts, r.Expiry)
 	n := len(w.buf)
 	w.mu.Unlock()
 	w.kickIfBig(n)

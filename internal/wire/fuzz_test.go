@@ -22,6 +22,10 @@ func seedRequestBodies(f *testing.F) {
 			{Op: OpGetRange, Key: []byte("start"), N: 10, Cols: []int{1}},
 			{Op: OpStats},
 		},
+		{
+			{Op: OpPutTTL, Key: []byte("ttl"), TTL: 300, Puts: []ColData{{Col: 0, Data: []byte("d")}}},
+			{Op: OpTouch, Key: []byte("ttl"), TTL: 60},
+		},
 	}
 	for _, reqs := range batches {
 		frame, err := AppendRequests(nil, reqs)

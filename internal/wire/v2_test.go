@@ -74,6 +74,8 @@ func TestTaggedRequestRoundTrip(t *testing.T) {
 		{Op: OpGet, Key: []byte("alpha"), Cols: []int{0, 2}},
 		{Op: OpPut, Key: []byte("beta"), Puts: []ColData{{Col: 1, Data: []byte("data")}}},
 		{Op: OpCas, Key: []byte("gamma"), ExpectVersion: 42, Puts: []ColData{{Col: 0, Data: []byte("cond")}}},
+		{Op: OpPutTTL, Key: []byte("zeta"), TTL: 300, Puts: []ColData{{Col: 2, Data: []byte("exp")}}},
+		{Op: OpTouch, Key: []byte("eta"), TTL: 86400},
 		{Op: OpRemove, Key: []byte("delta")},
 		{Op: OpGetRange, Key: []byte("eps"), N: 7},
 		{Op: OpStats},

@@ -85,6 +85,16 @@ const (
 	// On success the response is an ordinary put response; on mismatch it is
 	// StatusConflict with the current version.
 	OpCas OpCode = 6
+	// OpPutTTL is OpPut with a time-to-live: the request carries TTL
+	// seconds (relative — the server computes the absolute deadline), after
+	// which the key reads as absent and is eventually swept. TTL 0 stores a
+	// value that never expires, exactly like OpPut. Cache-mode operations
+	// are protocol v2 surface: a v1 connection answering them gets
+	// StatusError (v1 semantics stay untouched).
+	OpPutTTL OpCode = 7
+	// OpTouch resets a key's TTL without changing its value (TTL 0 removes
+	// the expiry). StatusNotFound if the key is absent or already expired.
+	OpTouch OpCode = 8
 )
 
 // Status codes.
@@ -108,9 +118,10 @@ type Request struct {
 	Op            OpCode
 	Key           []byte
 	Cols          []int     // columns to read (OpGet/OpGetRange); nil = all
-	Puts          []ColData // column writes (OpPut/OpCas)
+	Puts          []ColData // column writes (OpPut/OpCas/OpPutTTL)
 	N             int       // max pairs (OpGetRange)
 	ExpectVersion uint64    // required current version (OpCas); 0 = absent
+	TTL           uint32    // time-to-live seconds (OpPutTTL/OpTouch); 0 = never
 }
 
 // Pair is one key-value result of a range query.
@@ -315,13 +326,20 @@ func parseRequestAlias(b []byte, r *Request, d *DecodeBuf) ([]byte, error) {
 			r.N = int(binary.LittleEndian.Uint16(b))
 			b = b[2:]
 		}
-	case OpPut, OpCas:
+	case OpPut, OpCas, OpPutTTL:
 		if r.Op == OpCas {
 			if len(b) < 8 {
 				return nil, errShort
 			}
 			r.ExpectVersion = binary.LittleEndian.Uint64(b)
 			b = b[8:]
+		}
+		if r.Op == OpPutTTL {
+			if len(b) < 4 {
+				return nil, errShort
+			}
+			r.TTL = binary.LittleEndian.Uint32(b)
+			b = b[4:]
 		}
 		if len(b) < 1 {
 			return nil, errShort
@@ -343,6 +361,12 @@ func parseRequestAlias(b []byte, r *Request, d *DecodeBuf) ([]byte, error) {
 			b = b[dlen:]
 		}
 		r.Puts = d.puts[start:len(d.puts):len(d.puts)]
+	case OpTouch:
+		if len(b) < 4 {
+			return nil, errShort
+		}
+		r.TTL = binary.LittleEndian.Uint32(b)
+		b = b[4:]
 	case OpRemove, OpStats:
 	default:
 		return nil, fmt.Errorf("wire: unknown opcode %d", r.Op)
@@ -669,9 +693,12 @@ func appendRequest(b []byte, r *Request) []byte {
 		if r.Op == OpGetRange {
 			b = binary.LittleEndian.AppendUint16(b, uint16(r.N))
 		}
-	case OpPut, OpCas:
+	case OpPut, OpCas, OpPutTTL:
 		if r.Op == OpCas {
 			b = binary.LittleEndian.AppendUint64(b, r.ExpectVersion)
+		}
+		if r.Op == OpPutTTL {
+			b = binary.LittleEndian.AppendUint32(b, r.TTL)
 		}
 		b = append(b, byte(len(r.Puts)))
 		for _, p := range r.Puts {
@@ -679,6 +706,8 @@ func appendRequest(b []byte, r *Request) []byte {
 			b = binary.LittleEndian.AppendUint32(b, uint32(len(p.Data)))
 			b = append(b, p.Data...)
 		}
+	case OpTouch:
+		b = binary.LittleEndian.AppendUint32(b, r.TTL)
 	case OpRemove, OpStats:
 	}
 	return b
@@ -720,13 +749,20 @@ func parseRequest(b []byte, r *Request) ([]byte, error) {
 			r.N = int(binary.LittleEndian.Uint16(b))
 			b = b[2:]
 		}
-	case OpPut, OpCas:
+	case OpPut, OpCas, OpPutTTL:
 		if r.Op == OpCas {
 			if len(b) < 8 {
 				return nil, errShort
 			}
 			r.ExpectVersion = binary.LittleEndian.Uint64(b)
 			b = b[8:]
+		}
+		if r.Op == OpPutTTL {
+			if len(b) < 4 {
+				return nil, errShort
+			}
+			r.TTL = binary.LittleEndian.Uint32(b)
+			b = b[4:]
 		}
 		if len(b) < 1 {
 			return nil, errShort
@@ -747,6 +783,12 @@ func parseRequest(b []byte, r *Request) ([]byte, error) {
 			r.Puts[i].Data = append([]byte(nil), b[:dlen]...)
 			b = b[dlen:]
 		}
+	case OpTouch:
+		if len(b) < 4 {
+			return nil, errShort
+		}
+		r.TTL = binary.LittleEndian.Uint32(b)
+		b = b[4:]
 	case OpRemove, OpStats:
 	default:
 		return nil, fmt.Errorf("wire: unknown opcode %d", r.Op)

@@ -27,6 +27,8 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpGet, Key: []byte("k1"), Cols: []int{0, 3}},
 		{Op: OpGet, Key: []byte("")},
 		{Op: OpPut, Key: []byte("k2"), Puts: []ColData{{Col: 1, Data: []byte("data")}, {Col: 0, Data: nil}}},
+		{Op: OpPutTTL, Key: []byte("kt"), TTL: 60, Puts: []ColData{{Col: 0, Data: []byte("exp")}}},
+		{Op: OpTouch, Key: []byte("kt"), TTL: 120},
 		{Op: OpRemove, Key: []byte("k3")},
 		{Op: OpGetRange, Key: []byte("start"), N: 100, Cols: []int{2}},
 		{Op: OpGetRange, Key: nil, N: 0},
@@ -37,7 +39,8 @@ func TestRequestRoundTrip(t *testing.T) {
 	}
 	for i := range reqs {
 		if got[i].Op != reqs[i].Op || !bytes.Equal(got[i].Key, reqs[i].Key) ||
-			got[i].N != reqs[i].N || !reflect.DeepEqual(got[i].Cols, reqs[i].Cols) {
+			got[i].N != reqs[i].N || !reflect.DeepEqual(got[i].Cols, reqs[i].Cols) ||
+			got[i].TTL != reqs[i].TTL {
 			t.Fatalf("request %d mismatch: %+v vs %+v", i, got[i], reqs[i])
 		}
 		if len(got[i].Puts) != len(reqs[i].Puts) {
