@@ -8,6 +8,7 @@
 //	masstree-client -addr host:7500 cas KEY EXPECTVER VALUE
 //	masstree-client -addr host:7500 putttl KEY VALUE TTL_SECONDS
 //	masstree-client -addr host:7500 touch KEY TTL_SECONDS
+//	masstree-client -addr host:7500 getorload KEY [COL...]
 //	masstree-client -addr host:7500 del KEY
 //	masstree-client -addr host:7500 scan START N
 //
@@ -16,7 +17,8 @@
 // either the new version or the conflicting current version — the version a
 // retry should expect after re-reading. putttl and touch are cache-mode
 // (protocol v2) operations: putttl stores a value that expires TTL_SECONDS
-// from now, touch resets an existing key's TTL without rewriting it.
+// from now, touch resets an existing key's TTL without rewriting it, and
+// getorload reads through to the server's -backend tier on a miss.
 package main
 
 import (
@@ -129,6 +131,34 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("ok (version %d, ttl %ds)\n", ver, ttl)
+	case "getorload":
+		if len(args) < 2 {
+			usage()
+		}
+		var cols []int
+		for _, a := range args[2:] {
+			n, err := strconv.Atoi(a)
+			if err != nil {
+				log.Fatalf("masstree-client: bad column %q", a)
+			}
+			cols = append(cols, n)
+		}
+		conn := dialV2(*addr)
+		defer conn.Close()
+		vals, ver, stale, ok, err := conn.GetOrLoad([]byte(args[1]), cols)
+		check(err)
+		if !ok {
+			fmt.Println("(not found)")
+			os.Exit(1)
+		}
+		if stale {
+			fmt.Printf("version %d (STALE: backend unreachable, value past its TTL)\n", ver)
+		} else {
+			fmt.Printf("version %d\n", ver)
+		}
+		for i, v := range vals {
+			fmt.Printf("col %d: %q\n", i, v)
+		}
 	case "del":
 		if len(args) != 2 {
 			usage()
@@ -201,10 +231,26 @@ func usage() {
                                version is still EXPECTVER (0 = absent)
   putttl KEY VALUE TTL         write column 0 expiring TTL seconds from now
   touch KEY TTL                reset a key's TTL without rewriting its value
+  getorload KEY [COL...]       read a key, loading it from the server's
+                               backend tier on a miss; a STALE answer means
+                               the backend was unreachable and an expired
+                               resident value was served instead
   del KEY                      remove a key
   scan START N                 range query: up to N pairs from START
-  stats                        server statistics (tree, batching, cache
-                               counters incl. bytes_live/evictions, flush
-                               errors)`)
+  stats                        server statistics. Tree/batching counters,
+                               cache mode (bytes_live, evictions, ...),
+                               logging health (flush_errors, flush_retries,
+                               flush_last_error), and the backend tier:
+                                 loads             values loaded from the backend
+                                 load_errors       backend loads that failed
+                                 herd_coalesced    misses that joined a key's
+                                                   in-flight load
+                                 stale_served      stale-if-error responses
+                                 negative_hits     misses answered by the
+                                                   negative cache
+                                 breaker_state     0 closed / 1 open / 2 half-open
+                                 breaker_opens     times the breaker tripped
+                                 writebehind_depth queued spilled values
+                                 writebehind_drops spills dropped (queue full)`)
 	os.Exit(2)
 }

@@ -70,6 +70,31 @@
 // border lock so a re-inserted key's versions stay above the dropped
 // value's and replay order is preserved.
 //
+// The backend tier (internal/backend) turns cache mode into a CDN-style
+// read-through front for a slow source of truth. Backend is a three-call
+// seam (Load/Store/Delete); backend.Wrap decorates any implementation with
+// per-attempt timeouts, bounded jittered retries, a concurrency limiter,
+// and a circuit breaker, and backend.NewFile ships a vfs-backed reference
+// implementation (-backend file:<dir> on the server). Session.GetOrLoad is
+// the read surface: a resident hit costs nothing (allocation-free, pinned
+// by test), a miss funnels into a per-key singleflight so a thundering
+// herd of concurrent misses triggers exactly one backend load — 512
+// racing misses, 1 load, 511 coalesced (BENCH_backend.json) — and
+// authoritative misses are negative-cached so absent hot keys cannot herd
+// either. Loaded values install through the ordinary put path, so they are
+// logged, versioned, and cache-accounted like any put. Writes flow the
+// other way through the bounded write-behind queue: eviction's clean drops
+// and Remove's tombstones enqueue, an async drainer pushes them upstream,
+// and an in-flight spill stays visible to loads so read-through can never
+// resurrect a pre-spill value. When the backend dies the store degrades
+// instead of hanging: the breaker fails misses fast, expired-but-resident
+// values within Config.MaxStale are served marked stale (stale-if-error;
+// the TTL sweep defers physically removing them for exactly this reserve),
+// and OpGetOrLoad reports the distinction on the wire (StatusStale).
+// Graceful shutdown drains in dependency order — stop accepting, flush the
+// WAL, drain the write-behind queue, final checkpoint — and exits nonzero
+// if any budget lapses.
+//
 // Everything under wal and checkpoint reaches the disk through internal/vfs,
 // an injectable filesystem seam. vfs.MemFS models crash consistency the way
 // a conservative POSIX filesystem behaves (unsynced file data is lost;
@@ -86,8 +111,10 @@
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
 // results. The implementation lives under internal/; runnable entry points
 // are under cmd/ and examples/ (examples/pipeline demonstrates the async
-// client and CAS; examples/cachefront the bounded cache).
+// client and CAS; examples/cachefront the bounded cache;
+// examples/readthrough the backend tier under faults).
 // BENCH_pipeline.json, BENCH_writepath.json, BENCH_pipeline_v2.json,
-// BENCH_recovery.json, and BENCH_cache.json record the read-path,
-// write-path, pipelining, restart, and cache-mode numbers.
+// BENCH_recovery.json, BENCH_cache.json, and BENCH_backend.json record the
+// read-path, write-path, pipelining, restart, cache-mode, and
+// herd-coalescing numbers.
 package repro

@@ -1,0 +1,124 @@
+package backend
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+// File is the reference durable backend: one file per key on a vfs.FS, so
+// tests exercise the full decorator stack against the same crash-injectable
+// filesystem seam the WAL uses. Stores are atomic (temp + sync + rename);
+// loads verify the stored key against the requested one, so a hash-named
+// file can never answer for the wrong key.
+//
+// It is deliberately simple — no compaction, no sharded directories — the
+// point is a real, fallible source of truth, not a second storage engine.
+type File struct {
+	fsys vfs.FS
+	dir  string
+	ttl  time.Duration // TTL stamped on every loaded value; 0 = none
+}
+
+// NewFile builds a file backend rooted at dir, creating it if absent. A nil
+// fsys means the real filesystem. loadTTL, when non-zero, is the TTL the
+// backend reports for every load — the knob that turns a read-through entry
+// into an expiring cache entry.
+func NewFile(fsys vfs.FS, dir string, loadTTL time.Duration) (*File, error) {
+	if fsys == nil {
+		fsys = vfs.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &File{fsys: fsys, dir: dir, ttl: loadTTL}, nil
+}
+
+// hexNameMax bounds hex-named keys; longer keys fall back to a hash name
+// (the stored header disambiguates, and sha256 collisions are not a
+// practical concern).
+const hexNameMax = 96
+
+// keyPath maps a key to its file path: short keys hex-encode reversibly
+// ("k<hex>"), long keys hash ("h<hex of sha256>").
+func (f *File) keyPath(key []byte) string {
+	if len(key) <= hexNameMax {
+		return filepath.Join(f.dir, "k"+hex.EncodeToString(key))
+	}
+	sum := sha256.Sum256(key)
+	return filepath.Join(f.dir, "h"+hex.EncodeToString(sum[:]))
+}
+
+// Load implements Backend. The file layout is [u32 klen][key][payload];
+// the embedded key is verified so hash-named files answer only for their
+// own key (a mismatch reads as a miss, exactly what a hash collision is).
+func (f *File) Load(_ context.Context, key []byte) ([]byte, time.Duration, bool, error) {
+	b, err := f.fsys.ReadFile(f.keyPath(key))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, 0, false, nil
+		}
+		return nil, 0, false, err
+	}
+	if len(b) < 4 {
+		return nil, 0, false, fmt.Errorf("backend: truncated file for key %q", key)
+	}
+	klen := int(binary.LittleEndian.Uint32(b))
+	if len(b)-4 < klen {
+		return nil, 0, false, fmt.Errorf("backend: truncated key in file for %q", key)
+	}
+	if string(b[4:4+klen]) != string(key) {
+		return nil, 0, false, nil
+	}
+	return b[4+klen:], f.ttl, true, nil
+}
+
+// Store implements Backend: write-temp, sync, rename, sync-dir — the same
+// atomic-publish idiom the checkpoint writer uses, so a crash leaves either
+// the old payload or the new one, never a torn file.
+func (f *File) Store(_ context.Context, key, payload []byte) error {
+	tmp, err := f.fsys.CreateTemp(f.dir, "put-*")
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(key)))
+	_, err = tmp.Write(hdr[:])
+	if err == nil {
+		_, err = tmp.Write(key)
+	}
+	if err == nil {
+		_, err = tmp.Write(payload)
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = f.fsys.Remove(tmp.Name())
+		return err
+	}
+	if err := f.fsys.Rename(tmp.Name(), f.keyPath(key)); err != nil {
+		_ = f.fsys.Remove(tmp.Name())
+		return err
+	}
+	return f.fsys.SyncDir(f.dir)
+}
+
+// Delete implements Backend; deleting an absent key succeeds.
+func (f *File) Delete(_ context.Context, key []byte) error {
+	if err := f.fsys.Remove(f.keyPath(key)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	return f.fsys.SyncDir(f.dir)
+}

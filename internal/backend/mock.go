@@ -1,0 +1,194 @@
+package backend
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mock is the in-process test backend with programmable failure: latency,
+// error bursts, hangs (block until released or the context dies), and hard
+// outage are all injected at runtime, mid-test, while calls are in flight.
+// It additionally tracks per-key load concurrency so singleflight tests can
+// assert that N racing misses reached the backend exactly once.
+type Mock struct {
+	mu   sync.Mutex
+	data map[string][]byte
+	ttl  time.Duration
+
+	err     error         // non-nil: every call fails with it
+	latency time.Duration // added to every call
+	gate    chan struct{} // non-nil: calls park until the gate closes
+
+	inflight    map[string]int // live Load calls per key
+	maxInflight atomic.Int64   // high-water mark of any key's live loads
+	loads       atomic.Int64
+	loadsByKey  map[string]int64
+	stores      atomic.Int64
+	deletes     atomic.Int64
+}
+
+// NewMock returns an empty mock whose loads report the given TTL.
+func NewMock(ttl time.Duration) *Mock {
+	return &Mock{
+		data:       make(map[string][]byte),
+		ttl:        ttl,
+		inflight:   make(map[string]int),
+		loadsByKey: make(map[string]int64),
+	}
+}
+
+// Seed installs a key upstream without counting as a Store.
+func (m *Mock) Seed(key string, payload []byte) {
+	m.mu.Lock()
+	m.data[key] = append([]byte(nil), payload...)
+	m.mu.Unlock()
+}
+
+// SetError makes every subsequent call fail with err (nil heals).
+func (m *Mock) SetError(err error) {
+	m.mu.Lock()
+	m.err = err
+	m.mu.Unlock()
+}
+
+// SetLatency adds d to every subsequent call.
+func (m *Mock) SetLatency(d time.Duration) {
+	m.mu.Lock()
+	m.latency = d
+	m.mu.Unlock()
+}
+
+// Hang makes subsequent calls park until the returned release function runs
+// (or their context dies, in which case they return ctx.Err()).
+func (m *Mock) Hang() (release func()) {
+	gate := make(chan struct{})
+	m.mu.Lock()
+	m.gate = gate
+	m.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			m.mu.Lock()
+			if m.gate == gate {
+				m.gate = nil
+			}
+			m.mu.Unlock()
+			close(gate)
+		})
+	}
+}
+
+// Loads returns the total completed-or-failed Load attempts that reached
+// the mock (rejected breaker calls never arrive).
+func (m *Mock) Loads() int64 { return m.loads.Load() }
+
+// LoadsFor returns how many Load attempts arrived for one key.
+func (m *Mock) LoadsFor(key string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.loadsByKey[key]
+}
+
+// Stores and Deletes count arrived calls.
+func (m *Mock) Stores() int64  { return m.stores.Load() }
+func (m *Mock) Deletes() int64 { return m.deletes.Load() }
+
+// MaxConcurrentLoads reports the highest number of Load calls ever live at
+// once for a single key — 1 under correct singleflight no matter the herd.
+func (m *Mock) MaxConcurrentLoads() int64 { return m.maxInflight.Load() }
+
+// Get reads the upstream copy of key (test assertions).
+func (m *Mock) Get(key string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.data[key]
+	return p, ok
+}
+
+// Len reports how many keys the upstream holds.
+func (m *Mock) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.data)
+}
+
+// enter applies the injected behaviors in order: latency, hang, error.
+func (m *Mock) enter(ctx context.Context) error {
+	m.mu.Lock()
+	latency, gate, err := m.latency, m.gate, m.err
+	m.mu.Unlock()
+	if latency > 0 {
+		t := time.NewTimer(latency)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+	if gate != nil {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// Load implements Backend.
+func (m *Mock) Load(ctx context.Context, key []byte) ([]byte, time.Duration, bool, error) {
+	k := string(key)
+	m.mu.Lock()
+	m.inflight[k]++
+	if n := int64(m.inflight[k]); n > m.maxInflight.Load() {
+		m.maxInflight.Store(n)
+	}
+	m.loadsByKey[k]++
+	m.mu.Unlock()
+	m.loads.Add(1)
+	defer func() {
+		m.mu.Lock()
+		m.inflight[k]--
+		m.mu.Unlock()
+	}()
+	if err := m.enter(ctx); err != nil {
+		return nil, 0, false, err
+	}
+	m.mu.Lock()
+	p, ok := m.data[k]
+	m.mu.Unlock()
+	if !ok {
+		return nil, 0, false, nil
+	}
+	return p, m.ttl, true, nil
+}
+
+// Store implements Backend.
+func (m *Mock) Store(ctx context.Context, key, payload []byte) error {
+	m.stores.Add(1)
+	if err := m.enter(ctx); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.data[string(key)] = append([]byte(nil), payload...)
+	m.mu.Unlock()
+	return nil
+}
+
+// Delete implements Backend.
+func (m *Mock) Delete(ctx context.Context, key []byte) error {
+	m.deletes.Add(1)
+	if err := m.enter(ctx); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	delete(m.data, string(key))
+	m.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,318 @@
+package backend
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WrapConfig tunes the decorator stack. Zero values pick conservative
+// defaults where one exists and disable the feature where "off" is
+// meaningful (Timeout 0 = no per-attempt timeout, Concurrency 0 = no
+// limiter, BreakerFailures 0 = no breaker).
+type WrapConfig struct {
+	// Timeout bounds each individual attempt (the retry loop multiplies
+	// it). 0 leaves only the caller's context deadline.
+	Timeout time.Duration
+	// Retries is how many additional attempts follow a failed first one.
+	Retries int
+	// RetryBase is the first backoff step; doubling from there, capped at
+	// RetryMax, with up to 50% random jitter added so herds of retriers
+	// decorrelate. Defaults: 5ms base, 500ms cap.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Concurrency caps in-flight backend calls; excess callers park on the
+	// semaphore (context-aware). 0 = unlimited.
+	Concurrency int
+	// BreakerFailures is the consecutive-failure threshold that trips the
+	// circuit open. 0 disables the breaker.
+	BreakerFailures int
+	// BreakerOpenFor is how long the circuit stays open before a half-open
+	// probe is admitted. Default 1s.
+	BreakerOpenFor time.Duration
+	// BreakerProbes is how many consecutive half-open probe successes close
+	// the circuit again. Default 1.
+	BreakerProbes int
+}
+
+// Breaker states as reported in Stats.BreakerState.
+const (
+	BreakerClosed   = 0
+	BreakerOpen     = 1
+	BreakerHalfOpen = 2
+)
+
+// Wrapped decorates a Backend with per-call timeouts, bounded jittered
+// retries, a concurrency limiter, and a circuit breaker, in that nesting
+// order: the breaker gates the whole call (one retried call is one breaker
+// outcome, not one per attempt), the limiter bounds live calls, and the
+// timeout bounds each attempt.
+type Wrapped struct {
+	b   Backend
+	cfg WrapConfig
+	sem chan struct{} // nil when unlimited
+
+	loads, stores, deletes atomic.Uint64
+	errors, retries        atomic.Uint64
+	rejected               atomic.Uint64
+
+	mu        sync.Mutex
+	state     int
+	fails     int       // consecutive failures while closed
+	openUntil time.Time // when open, the earliest half-open probe time
+	probing   bool      // a half-open probe is in flight
+	probeWins int       // consecutive successful probes while half-open
+	opens     uint64
+}
+
+// Wrap builds the decorator stack around b. A nil-adjustment pass fills in
+// defaults; see WrapConfig.
+func Wrap(b Backend, cfg WrapConfig) *Wrapped {
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 5 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 500 * time.Millisecond
+	}
+	if cfg.BreakerOpenFor <= 0 {
+		cfg.BreakerOpenFor = time.Second
+	}
+	if cfg.BreakerProbes <= 0 {
+		cfg.BreakerProbes = 1
+	}
+	w := &Wrapped{b: b, cfg: cfg}
+	if cfg.Concurrency > 0 {
+		w.sem = make(chan struct{}, cfg.Concurrency)
+	}
+	return w
+}
+
+// Load implements Backend.
+func (w *Wrapped) Load(ctx context.Context, key []byte) (payload []byte, ttl time.Duration, ok bool, err error) {
+	err = w.do(ctx, func(actx context.Context) error {
+		var aerr error
+		payload, ttl, ok, aerr = w.b.Load(actx, key)
+		return aerr
+	})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	w.loads.Add(1)
+	return payload, ttl, ok, nil
+}
+
+// Store implements Backend.
+func (w *Wrapped) Store(ctx context.Context, key, payload []byte) error {
+	err := w.do(ctx, func(actx context.Context) error {
+		return w.b.Store(actx, key, payload)
+	})
+	if err == nil {
+		w.stores.Add(1)
+	}
+	return err
+}
+
+// Delete implements Backend.
+func (w *Wrapped) Delete(ctx context.Context, key []byte) error {
+	err := w.do(ctx, func(actx context.Context) error {
+		return w.b.Delete(actx, key)
+	})
+	if err == nil {
+		w.deletes.Add(1)
+	}
+	return err
+}
+
+// Stats snapshots the health counters.
+func (w *Wrapped) Stats() Stats {
+	w.mu.Lock()
+	state, opens := w.state, w.opens
+	// An open breaker whose cool-down has lapsed reads as half-open: the
+	// next call will probe, and observers (stale-if-error policy, the
+	// degradation tests) care about that readiness, not the stale label.
+	if state == BreakerOpen && !time.Now().Before(w.openUntil) {
+		state = BreakerHalfOpen
+	}
+	w.mu.Unlock()
+	return Stats{
+		Loads:        w.loads.Load(),
+		Stores:       w.stores.Load(),
+		Deletes:      w.deletes.Load(),
+		Errors:       w.errors.Load(),
+		Retries:      w.retries.Load(),
+		Rejected:     w.rejected.Load(),
+		BreakerState: state,
+		BreakerOpens: opens,
+	}
+}
+
+// do runs one backend call through the full stack. One call is one breaker
+// outcome regardless of how many attempts the retry loop burned.
+func (w *Wrapped) do(ctx context.Context, op func(context.Context) error) error {
+	probe, err := w.allow()
+	if err != nil {
+		w.rejected.Add(1)
+		return err
+	}
+	if w.sem != nil {
+		select {
+		case w.sem <- struct{}{}:
+		case <-ctx.Done():
+			// Never reached the backend: the outcome says nothing about its
+			// health, so a probe slot is handed back rather than judged.
+			w.abort(probe)
+			return ctx.Err()
+		}
+		defer func() { <-w.sem }()
+	}
+	for attempt := 0; ; attempt++ {
+		err = w.attempt(ctx, op)
+		if err == nil {
+			w.record(probe, true)
+			return nil
+		}
+		if ctx.Err() != nil {
+			// The caller's own context expired or was canceled. The backend
+			// was not proven sick (our per-attempt timeout never fired with
+			// the parent still live), so the breaker stays untouched.
+			w.abort(probe)
+			w.errors.Add(1)
+			return err
+		}
+		if attempt >= w.cfg.Retries {
+			break
+		}
+		w.retries.Add(1)
+		if serr := w.sleep(ctx, w.backoff(attempt)); serr != nil {
+			w.abort(probe)
+			w.errors.Add(1)
+			return err
+		}
+	}
+	w.record(probe, false)
+	w.errors.Add(1)
+	return err
+}
+
+// attempt runs op once under the per-attempt timeout.
+func (w *Wrapped) attempt(ctx context.Context, op func(context.Context) error) error {
+	if w.cfg.Timeout <= 0 {
+		return op(ctx)
+	}
+	actx, cancel := context.WithTimeout(ctx, w.cfg.Timeout)
+	defer cancel()
+	return op(actx)
+}
+
+// backoff returns the sleep before retry attempt+1: exponential from
+// RetryBase, capped at RetryMax, plus up to 50% jitter.
+func (w *Wrapped) backoff(attempt int) time.Duration {
+	d := w.cfg.RetryBase
+	for i := 0; i < attempt && d < w.cfg.RetryMax; i++ {
+		d *= 2
+	}
+	if d > w.cfg.RetryMax {
+		d = w.cfg.RetryMax
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// sleep is a context-aware time.Sleep.
+func (w *Wrapped) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// allow decides whether a call may proceed. probe reports that the call is
+// a half-open probe whose outcome must be returned via record or abort.
+func (w *Wrapped) allow() (probe bool, err error) {
+	if w.cfg.BreakerFailures <= 0 {
+		return false, nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch w.state {
+	case BreakerClosed:
+		return false, nil
+	case BreakerOpen:
+		if time.Now().Before(w.openUntil) {
+			return false, ErrUnavailable
+		}
+		w.state = BreakerHalfOpen
+		w.probing = true
+		w.probeWins = 0
+		return true, nil
+	default: // half-open
+		if w.probing {
+			return false, ErrUnavailable
+		}
+		w.probing = true
+		return true, nil
+	}
+}
+
+// record feeds one call outcome into the breaker state machine.
+func (w *Wrapped) record(probe, ok bool) {
+	if w.cfg.BreakerFailures <= 0 {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if probe {
+		w.probing = false
+	}
+	if ok {
+		switch w.state {
+		case BreakerHalfOpen:
+			if probe {
+				w.probeWins++
+				if w.probeWins >= w.cfg.BreakerProbes {
+					w.state = BreakerClosed
+					w.fails = 0
+				}
+			}
+		case BreakerClosed:
+			w.fails = 0
+		}
+		return
+	}
+	switch w.state {
+	case BreakerHalfOpen:
+		if probe {
+			w.trip()
+		}
+	case BreakerClosed:
+		w.fails++
+		if w.fails >= w.cfg.BreakerFailures {
+			w.trip()
+		}
+	}
+}
+
+// abort hands back a probe slot without judging the backend (the call never
+// produced a health signal — canceled before or during the attempt).
+func (w *Wrapped) abort(probe bool) {
+	if !probe {
+		return
+	}
+	w.mu.Lock()
+	w.probing = false
+	w.mu.Unlock()
+}
+
+// trip opens the circuit; callers hold w.mu.
+func (w *Wrapped) trip() {
+	w.state = BreakerOpen
+	w.openUntil = time.Now().Add(w.cfg.BreakerOpenFor)
+	w.fails = 0
+	w.probeWins = 0
+	w.opens++
+}

@@ -145,10 +145,11 @@ var Registry = map[string]func(Scale) *Table{
 	"retry": Retry,
 	"shape": Shape,
 	"cache": Cache,
+	"herd":  Herd,
 }
 
 // IDs lists experiment ids in presentation order.
-var IDs = []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "sec63", "sec64", "ckpt", "retry", "shape", "cache"}
+var IDs = []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "sec63", "sec64", "ckpt", "retry", "shape", "cache", "herd"}
 
 // All runs every experiment.
 func All(sc Scale) []*Table {

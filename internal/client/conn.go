@@ -2,11 +2,14 @@ package client
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/wire"
 )
@@ -33,6 +36,13 @@ import (
 // reusable scratch (which is why responses are only valid until Release).
 type Conn struct {
 	nc net.Conn
+
+	// timeout, when set (WithTimeout), is the per-batch I/O deadline: each
+	// outgoing frame arms a write deadline, and the read side keeps a rolling
+	// deadline armed while batches are in flight (cleared when the window
+	// empties, so an idle connection never times out). A deadline firing is a
+	// transport error: fail completes every in-flight Pending with it.
+	timeout time.Duration
 
 	wmu sync.Mutex // serializes frame encode+write across Go calls
 	w   *bufio.Writer
@@ -71,6 +81,31 @@ type Pending struct {
 	err   error
 	dec   wire.RespDecodeBuf // per-Pending decode scratch; resps alias it
 	done  chan struct{}      // cap 1; one signal per Go
+
+	// state arbitrates completion against WaitCtx abandonment: the completer
+	// CASes inFlight→completed before signaling done, WaitCtx CASes
+	// inFlight→abandoned when its context fires first. Whoever loses the race
+	// defers to the winner: an abandoned Pending is recycled by the completer
+	// (its caller is gone and must not touch it again), a completed one hands
+	// its buffered signal to the departing WaitCtx.
+	state atomic.Int32
+}
+
+const (
+	pendingInFlight  = 0
+	pendingCompleted = 1
+	pendingAbandoned = 2
+)
+
+// complete delivers p's result to its waiter — or, if a WaitCtx already
+// abandoned p, recycles it directly (the waiter returned and relinquished
+// ownership; nobody else will Release it).
+func (p *Pending) complete() {
+	if p.state.CompareAndSwap(pendingInFlight, pendingCompleted) {
+		p.done <- struct{}{}
+		return
+	}
+	p.Release()
 }
 
 // DefaultWindow is the default bound on in-flight batches per Conn.
@@ -82,7 +117,22 @@ var errConnClosed = errors.New("client: connection closed")
 type ConnOption func(*connConfig)
 
 type connConfig struct {
-	window int
+	window  int
+	timeout time.Duration
+}
+
+// WithTimeout arms a per-batch I/O deadline: a frame that cannot be written
+// within d, or a response the server does not produce within d of the last
+// send or receive, fails the connection — and with it every in-flight
+// Pending, each completed with the same transport error. Zero (the default)
+// means no deadline: a dead peer is only detected when the kernel gives up
+// the connection. An idle connection (empty window) never times out.
+func WithTimeout(d time.Duration) ConnOption {
+	return func(c *connConfig) {
+		if d > 0 {
+			c.timeout = d
+		}
+	}
 }
 
 // WithWindow bounds the number of batches in flight at once (>= 1). Window
@@ -130,6 +180,7 @@ func DialConn(addr string, opts ...ConnOption) (*Conn, error) {
 	}
 	c := &Conn{
 		nc:         nc,
+		timeout:    cfg.timeout,
 		w:          w,
 		slots:      make(chan struct{}, cfg.window),
 		flushCh:    make(chan struct{}, 1),
@@ -149,6 +200,9 @@ func (c *Conn) flushLoop() {
 		select {
 		case <-c.flushCh:
 			c.wmu.Lock()
+			if c.timeout > 0 {
+				c.nc.SetWriteDeadline(time.Now().Add(c.timeout))
+			}
 			err := c.w.Flush()
 			c.wmu.Unlock()
 			if err != nil {
@@ -173,18 +227,29 @@ func (c *Conn) Go(reqs []wire.Request) *Pending {
 		p.err = c.err
 		c.mu.Unlock()
 		<-c.slots
-		p.done <- struct{}{}
+		p.complete()
 		return p
 	}
 	p.tag = c.nextTag
 	c.nextTag++
 	c.pending[p.tag] = p
+	if c.timeout > 0 {
+		// Roll the read deadline forward under c.mu: the reader adjusts it
+		// under the same lock, so its clear-on-idle can never erase a
+		// deadline armed for a batch it has not yet seen registered.
+		c.nc.SetReadDeadline(time.Now().Add(c.timeout))
+	}
 	c.mu.Unlock()
 
 	c.wmu.Lock()
 	b, encErr := wire.AppendTaggedRequests(c.enc[:0], p.tag, reqs)
 	var werr error
 	if encErr == nil {
+		if c.timeout > 0 {
+			// A frame larger than the buffer writes through to the socket
+			// here rather than in the flusher.
+			c.nc.SetWriteDeadline(time.Now().Add(c.timeout))
+		}
 		_, werr = c.w.Write(b)
 	}
 	if cap(b) <= maxRetainedScratch {
@@ -206,7 +271,7 @@ func (c *Conn) Go(reqs []wire.Request) *Pending {
 		if mine {
 			p.err = encErr
 			<-c.slots
-			p.done <- struct{}{}
+			p.complete()
 		}
 		return p
 	}
@@ -233,6 +298,7 @@ func (c *Conn) takePending() *Pending {
 		p := c.free[n-1]
 		c.free = c.free[:n-1]
 		p.resps, p.err = nil, nil
+		p.state.Store(pendingInFlight)
 		return p
 	}
 	return &Pending{c: c, done: make(chan struct{}, 1)}
@@ -263,9 +329,22 @@ func (c *Conn) readLoop(r *bufio.Reader) {
 		if err == nil && len(resps) != p.nreq {
 			err = fmt.Errorf("client: %d responses for %d requests", len(resps), p.nreq)
 		}
+		if c.timeout > 0 {
+			// Reset the rolling read deadline now that a full frame arrived:
+			// extend it while batches remain in flight, clear it when the
+			// window empties (an idle connection must not time out). Under
+			// c.mu so a racing Go's arm-on-register cannot be erased.
+			c.mu.Lock()
+			if len(c.pending) == 0 {
+				c.nc.SetReadDeadline(time.Time{})
+			} else {
+				c.nc.SetReadDeadline(time.Now().Add(c.timeout))
+			}
+			c.mu.Unlock()
+		}
 		p.resps, p.err = resps, err
 		<-c.slots
-		p.done <- struct{}{}
+		p.complete()
 		if err != nil {
 			c.fail(err)
 			return
@@ -292,7 +371,7 @@ func (c *Conn) fail(err error) {
 	for _, p := range failed {
 		p.resps, p.err = nil, err
 		<-c.slots
-		p.done <- struct{}{}
+		p.complete()
 	}
 }
 
@@ -301,6 +380,29 @@ func (c *Conn) fail(err error) {
 // Pending's reusable scratch: they are valid until Release. Call Wait
 // exactly once per Go.
 func (p *Pending) Wait() ([]wire.Response, error) {
+	<-p.done
+	return p.resps, p.err
+}
+
+// WaitCtx is Wait with an escape hatch: if ctx fires before the batch
+// completes, it returns ctx's error and ownership of p transfers to the
+// connection — the caller must NOT use p (no Release, no second Wait)
+// afterwards; the connection recycles it when the response (or the
+// connection's failure) eventually arrives. The request itself is not
+// cancelled — it still occupies its window slot and executes on the server;
+// WaitCtx only stops this caller from parking on it. A batch abandoned this
+// way still counts against the window until it completes.
+func (p *Pending) WaitCtx(ctx context.Context) ([]wire.Response, error) {
+	select {
+	case <-p.done:
+		return p.resps, p.err
+	case <-ctx.Done():
+	}
+	if p.state.CompareAndSwap(pendingInFlight, pendingAbandoned) {
+		return nil, ctx.Err()
+	}
+	// The completer won the race: its signal is (or is about to be) in the
+	// channel, so collect the result after all.
 	<-p.done
 	return p.resps, p.err
 }
@@ -363,6 +465,35 @@ func (c *Conn) Get(key []byte, cols []int) (vals [][]byte, ver uint64, ok bool, 
 	ver = r.Version
 	p.Release()
 	return vals, ver, true, nil
+}
+
+// GetOrLoad retrieves columns of one key, consulting the server's backend
+// tier on a miss (read-through; see OpGetOrLoad). stale true marks a
+// degraded answer: an expired resident value served because the backend
+// could not be reached. ok false means the key is authoritatively absent.
+// A server without a backend (or a backend failure with nothing resident)
+// answers StatusError, surfaced here as an error.
+func (c *Conn) GetOrLoad(key []byte, cols []int) (vals [][]byte, ver uint64, stale, ok bool, err error) {
+	p := c.Go([]wire.Request{{Op: wire.OpGetOrLoad, Key: key, Cols: cols}})
+	resps, err := p.Wait()
+	if err != nil {
+		p.Release()
+		return nil, 0, false, false, err
+	}
+	r := &resps[0]
+	switch r.Status {
+	case wire.StatusOK, wire.StatusStale:
+		vals = cloneCols(r.Cols)
+		ver, stale = r.Version, r.Status == wire.StatusStale
+		p.Release()
+		return vals, ver, stale, true, nil
+	case wire.StatusNotFound:
+		p.Release()
+		return nil, 0, false, false, nil
+	}
+	status := r.Status
+	p.Release()
+	return nil, 0, false, false, fmt.Errorf("client: getorload status %d", status)
 }
 
 // Put writes columns of one key and returns the new version.

@@ -1,6 +1,9 @@
 package kvstore
 
 import (
+	"context"
+	"errors"
+
 	"repro/internal/epoch"
 	"repro/internal/value"
 )
@@ -129,6 +132,38 @@ func (ss *Session) CasPut(key []byte, expect uint64, puts []value.ColPut) (ver u
 	ss.h.Enter()
 	defer ss.h.Exit()
 	return ss.s.CasPut(ss.worker, key, expect, puts)
+}
+
+// ErrNoBackend is returned by GetOrLoad when the store has no configured
+// backend tier — a miss then has nowhere to read through to.
+var ErrNoBackend = errors.New("kvstore: no backend configured")
+
+// GetOrLoad returns key's value, reading through the configured backend on
+// miss. The in-memory hit path is the ordinary epoch-protected lookup —
+// allocation-free, never blocking — while a miss funnels into the loader:
+// exactly one backend flight per key runs at a time and every concurrent
+// miss parks on its result (herd protection), honoring ctx while parked.
+//
+// Returns (value, stale, error). A nil value with nil error is an
+// authoritative miss (absent both in memory and upstream, possibly
+// negative-cached). stale is true when the backend could not answer and the
+// value is a resident expired one served under the MaxStale window; values
+// are immutable, so the result stays readable after the call regardless.
+func (ss *Session) GetOrLoad(ctx context.Context, key []byte) (*value.Value, bool, error) {
+	ss.h.Enter()
+	ss.s.cache.NoteAccess(ss.worker, key)
+	v, ok := ss.s.tree.Get(key)
+	ss.h.Exit()
+	if ok && !expired(v) {
+		return v, false, nil
+	}
+	// Miss: the epoch is released before the flight — a backend load can
+	// take seconds, and pinning an epoch that long would stall deferred
+	// reclamation storewide. The loader re-enters around tree operations.
+	if ss.s.loader == nil {
+		return nil, false, ErrNoBackend
+	}
+	return ss.s.loader.load(ctx, ss, key)
 }
 
 // GetValue returns key's current packed value. Values are immutable and

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/cache"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
@@ -78,6 +79,25 @@ type Config struct {
 	// keys may replay back; recovery then re-enforces the bound. See
 	// internal/cache and the package comment's cache-mode section.
 	MaxBytes int
+	// Backend, when non-nil, arms the read-through tier: Session.GetOrLoad
+	// resolves misses by loading from it (one flight per key, concurrent
+	// misses coalesce), and Remove/eviction feed the write-behind queue.
+	// Wrap it with backend.Wrap to get timeouts, retries, and the circuit
+	// breaker; the store calls whatever it is given.
+	Backend backend.Backend
+	// NegativeTTL is how long an authoritative backend miss is remembered,
+	// so absent hot keys cannot herd the backend either. 0 defaults to 1s;
+	// negative disables negative caching.
+	NegativeTTL time.Duration
+	// MaxStale bounds stale-if-error: when the backend cannot answer,
+	// GetOrLoad may serve a resident value whose TTL lapsed no more than
+	// this long ago, flagged stale. 0 disables (errors propagate).
+	MaxStale time.Duration
+	// WriteBehind is the spill queue's depth in keys; eviction's clean
+	// drops and Remove's tombstones queue here and drain to the Backend
+	// asynchronously, coalescing per key, dropping the oldest entry (and
+	// counting the drop) when full. 0 disables write-behind.
+	WriteBehind int
 }
 
 // Pair is one key plus requested columns, returned by GetRange.
@@ -96,6 +116,11 @@ type Store struct {
 	logs  *wal.Set // nil when persistence is disabled
 	mgr   epoch.Manager
 	cache *cache.Cache
+
+	// loader/wb are the read-through and write-behind tiers; both nil when
+	// no Backend is configured (wb additionally requires WriteBehind > 0).
+	loader *loader
+	wb     *writeBehind
 
 	// ttlUsed arms the maintenance loop's expiry sweep the first time any
 	// value carries an expiry (PutTTL/Touch, or a recovered TTL record), so
@@ -139,6 +164,9 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.MaintainEvery == 0 {
 		cfg.MaintainEvery = 50 * time.Millisecond
 	}
+	if cfg.NegativeTTL == 0 {
+		cfg.NegativeTTL = time.Second
+	}
 	s := &Store{
 		cfg:      cfg,
 		fsys:     cfg.FS,
@@ -160,6 +188,12 @@ func Open(cfg Config) (*Store, error) {
 		}
 	}
 	s.evictH = s.mgr.Register()
+	if cfg.Backend != nil {
+		s.loader = newLoader(s, cfg.Backend)
+		if cfg.WriteBehind > 0 {
+			s.wb = newWriteBehind(cfg.Backend, cfg.WriteBehind)
+		}
+	}
 	// Cache mode re-enforces the bound over recovered state: replay may have
 	// brought back evicted keys (their drops were never logged) and the
 	// accounted total starts from whatever survived, so seed the policy with
@@ -435,13 +469,23 @@ func (s *Store) cacheMaintain() {
 // before (and thus lose it to) the old one's higher version guard.
 func (s *Store) evictKey(key []byte) bool {
 	var delta int64
+	var spill *value.Value
 	_, ok := s.tree.RemoveIf(key, func(old *value.Value) bool {
 		s.clock.noteRemove(old.Version())
 		delta = -int64(old.Size())
+		// Write-behind turns the clean drop into a spill: the evicted value
+		// (immutable, so retaining the pointer is free) queues for the
+		// backend unless it is already dead by TTL.
+		if s.wb != nil && !expired(old) {
+			spill = old
+		}
 		return true
 	})
 	if ok {
 		s.cache.Account(-1, delta)
+		if spill != nil {
+			s.wb.enqueue(key, spill)
+		}
 	}
 	return ok
 }
@@ -462,7 +506,17 @@ const (
 // inside every logged value, so a replayed copy simply re-expires. RemoveIf
 // re-checks expiry under the border lock — a concurrent fresh put between
 // scan and removal wins.
+//
+// With a backend and MaxStale configured, the sweep horizon moves back by
+// MaxStale: an expired-but-recent value is the stale-if-error reserve the
+// loader serves during a backend outage, so the sweeper must not reclaim it
+// until the stale window has also lapsed. (Reads still treat it as expired;
+// only physical removal is deferred. Cache-pressure eviction is not — under
+// a byte budget, memory wins over the stale reserve.)
 func (s *Store) sweepExpired(now int64) int {
+	if s.loader != nil && s.cfg.MaxStale > 0 {
+		now -= int64(s.cfg.MaxStale)
+	}
 	s.sweepKeys = s.sweepKeys[:0]
 	s.sweepArena = s.sweepArena[:0]
 	seen := 0
@@ -704,10 +758,19 @@ func (s *Store) Put(worker int, key []byte, puts []value.ColPut) uint64 {
 			s.logs.Writer(worker).AppendPut(ver, key, puts)
 		}
 	}
+	s.noteWrite(key)
 	s.cache.Account(worker, delta)
 	s.cache.NotePut(worker, key, size)
 	s.cache.HelpEnforce(s.evictKey)
 	return ver
+}
+
+// noteWrite tells the read-through tier a key now exists (negative-cache
+// invalidation); free when no backend is configured.
+func (s *Store) noteWrite(key []byte) {
+	if s.loader != nil {
+		s.loader.noteWrite(key)
+	}
 }
 
 // PutTTL is Put with an expiry deadline (unix nanoseconds; 0 behaves like
@@ -745,6 +808,7 @@ func (s *Store) PutTTL(worker int, key []byte, puts []value.ColPut, expiresAt ui
 	if expiresAt != 0 {
 		s.ttlUsed.Store(true)
 	}
+	s.noteWrite(key)
 	s.cache.Account(worker, delta)
 	s.cache.NotePut(worker, key, size)
 	s.cache.HelpEnforce(s.evictKey)
@@ -851,10 +915,62 @@ func (s *Store) CasPut(worker int, key []byte, expect uint64, puts []value.ColPu
 			s.logs.Writer(worker).AppendPut(newVer, key, puts)
 		}
 	}
+	s.noteWrite(key)
 	s.cache.Account(worker, delta)
 	s.cache.NotePut(worker, key, size)
 	s.cache.HelpEnforce(s.evictKey)
 	return newVer, true
+}
+
+// installLoaded publishes a backend-loaded value for key: built on an
+// absent base (a load is by definition the key's whole upstream state),
+// versioned from the worker's clock, logged as an insert so replay
+// reconstructs it as a replacement, and cache-accounted like any put. A
+// racing real put wins — if a live value is already resident the install
+// declines and returns the winner, so a load can never clobber a write that
+// raced past it. Runs under the caller's epoch (see loader.install).
+func (s *Store) installLoaded(worker int, key []byte, cols [][]byte, expiresAt uint64) *value.Value {
+	if s.logs != nil {
+		mu := s.lockWorker(worker)
+		defer mu.Unlock()
+	}
+	var out *value.Value
+	var ver uint64
+	var delta int64
+	var size int
+	var puts []value.ColPut
+	installed := false
+	s.tree.Apply(key, func(old *value.Value) *value.Value {
+		if old != nil && !expired(old) {
+			out = old // a concurrent put made the key live: it wins
+			return nil
+		}
+		base := s.expireBase(worker, old) // nil; orders the clock past the corpse
+		ver = s.nextVersion(worker, base)
+		puts = make([]value.ColPut, len(cols))
+		for i := range cols {
+			puts[i] = value.ColPut{Col: i, Data: cols[i]}
+		}
+		nv := value.BuildTTLAt(nil, puts, ver, uint32(worker), expiresAt)
+		out = nv
+		size = nv.Size()
+		delta = int64(size - old.Size())
+		installed = true
+		return nv
+	})
+	if !installed {
+		return out
+	}
+	if s.logs != nil {
+		s.logs.Writer(worker).AppendInsertTTL(ver, key, puts, expiresAt)
+	}
+	if expiresAt != 0 {
+		s.ttlUsed.Store(true)
+	}
+	s.cache.Account(worker, delta)
+	s.cache.NotePut(worker, key, size)
+	s.cache.HelpEnforce(s.evictKey)
+	return out
 }
 
 // lockWorker serializes worker's draw-to-append window; see workerMu.
@@ -914,6 +1030,11 @@ func (s *Store) PutBatchInto(worker int, keys [][]byte, puts [][]value.ColPut, s
 	if s.logs != nil {
 		s.logs.Writer(worker).AppendPutBatch(keys, puts, sc.vers, sc.inserts)
 	}
+	if s.loader != nil {
+		for i := range keys {
+			s.loader.noteWrite(keys[i])
+		}
+	}
 	// One accounting add covers the whole batch; admissions stay per key.
 	s.cache.Account(worker, delta)
 	if s.cache.EvictionEnabled() {
@@ -962,6 +1083,12 @@ func (s *Store) Remove(worker int, key []byte) bool {
 		}
 		s.cache.Account(worker, delta)
 		s.cache.NoteRemove(worker, key)
+		// Read-through stores propagate the delete upstream (a tombstone in
+		// the write-behind queue); without it the next GetOrLoad would
+		// resurrect the removed key from the backend.
+		if s.wb != nil {
+			s.wb.enqueue(key, nil)
+		}
 	}
 	// A lazily-expired value reads as absent on every path, so removing it
 	// must report "did not exist" too (memcached's delete-of-expired is a
@@ -1224,10 +1351,39 @@ func (s *Store) FlushStats() (errs int64, last error) {
 	return s.logs.FlushStats()
 }
 
+// FlushRetries reports how many log flush attempts were retries made under a
+// failure backoff (see the wal writer's capped exponential retry pacing).
+func (s *Store) FlushRetries() int64 {
+	if s.logs == nil {
+		return 0
+	}
+	return s.logs.FlushRetries()
+}
+
+// DrainWriteBehind blocks until the write-behind spill queue is empty or
+// the timeout lapses, reporting whether it fully drained. A no-op (true)
+// without a write-behind queue. Graceful shutdown calls this before Close
+// with its own drain budget; Close itself also performs a bounded drain.
+func (s *Store) DrainWriteBehind(timeout time.Duration) bool {
+	if s.wb == nil {
+		return true
+	}
+	return s.wb.drain(timeout)
+}
+
+// closeDrainTimeout bounds Close's final write-behind drain: long enough to
+// flush a healthy queue, short enough that a dead backend cannot wedge
+// shutdown. Callers who need a larger budget drain explicitly first.
+const closeDrainTimeout = 2 * time.Second
+
 // Close stops background work and flushes and closes the logs. A clean
 // shutdown writes a timestamp mark to every log so recovery's cutoff does
-// not discard the durable tail of busier logs (see wal.OpMark).
+// not discard the durable tail of busier logs (see wal.OpMark); with
+// write-behind armed, pending spills get a bounded final drain first.
 func (s *Store) Close() error {
+	if s.wb != nil {
+		s.wb.close(closeDrainTimeout)
+	}
 	close(s.stop)
 	s.wg.Wait()
 	s.mgr.Unregister(s.evictH)

@@ -1,0 +1,21 @@
+//go:build slowtest
+
+package kvstore
+
+import "testing"
+
+// TestCrashTortureBackendEveryBoundary is the exhaustive variant of
+// TestBackendFaultTorture: it enumerates every filesystem boundary of the
+// backend-fault workload and crashes at each one in turn, verifying the
+// full model (and the read-through recovery mode) at every landing point.
+// Run with: go test -tags slowtest -race -run CrashTortureBackend ./internal/kvstore
+func TestCrashTortureBackendEveryBoundary(t *testing.T) {
+	total, crashed := runTortureBackend(t, 0)
+	if crashed {
+		t.Fatal("disarmed run crashed")
+	}
+	t.Logf("backend workload executes %d crash boundaries", total)
+	for i := 1; i <= total; i++ {
+		runTortureBackend(t, i)
+	}
+}

@@ -37,6 +37,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"net"
 	"strconv"
 	"sync"
@@ -351,8 +352,8 @@ func (s *Server) serveV2(conn net.Conn, sess *kvstore.Session, r *bufio.Reader, 
 // consecutive OpGets (or OpPuts) of length >= minBatchRun are served
 // through the session's batched lookup (or batched put); everything else
 // executes one at a time. ttlOK admits the cache-mode operations
-// (OpPutTTL/OpTouch), which are v2 surface: the v1 and UDP paths answer
-// them with StatusError, leaving v1 semantics untouched.
+// (OpPutTTL/OpTouch/OpGetOrLoad), which are v2 surface: the v1 and UDP paths
+// answer them with StatusError, leaving v1 semantics untouched.
 func (s *Server) executeBatch(sess *kvstore.Session, reqs []wire.Request, claimed int, sc *connScratch, ttlOK bool) {
 	if claimed < len(reqs) {
 		claimed = len(reqs)
@@ -499,6 +500,33 @@ func (s *Server) execute(sess *kvstore.Session, r *wire.Request, sc *connScratch
 			return wire.Response{Status: wire.StatusNotFound}
 		}
 		return wire.Response{Status: wire.StatusOK, Version: ver}
+	case wire.OpGetOrLoad:
+		// Read-through get (v2 surface, like the TTL ops): a miss consults
+		// the store's backend tier, with concurrent misses for the same key
+		// coalesced into one backend load. StatusStale marks a degraded
+		// answer — an expired resident value served because the backend could
+		// not be reached. A store without a backend (or a backend failure
+		// with nothing resident) answers StatusError.
+		if !ttlOK {
+			s.erroredRequests.Add(1)
+			return wire.Response{Status: wire.StatusError}
+		}
+		v, stale, err := sess.GetOrLoad(context.Background(), r.Key)
+		if err != nil {
+			s.erroredRequests.Add(1)
+			return wire.Response{Status: wire.StatusError}
+		}
+		if v == nil {
+			return wire.Response{Status: wire.StatusNotFound}
+		}
+		status := wire.StatusOK
+		if stale {
+			status = wire.StatusStale
+		}
+		start := len(sc.cols)
+		sc.cols = kvstore.AppendCols(sc.cols, v, r.Cols)
+		return wire.Response{Status: status, Version: v.Version(),
+			Cols: sc.cols[start:len(sc.cols):len(sc.cols)]}
 	case wire.OpRemove:
 		if sess.Remove(r.Key) {
 			return wire.Response{Status: wire.StatusOK}
@@ -567,12 +595,65 @@ func (s *Server) statsResponse(v2 bool) wire.Response {
 		metric("ghost_hits", cs.GhostHits),
 		metric("admit_drops", cs.AdmitDrops),
 		metric("flush_errors", flushErrs),
+		metric("flush_retries", s.store.FlushRetries()),
 	}
+	// Backend-tier health (all numeric, so v1 clients that integer-parse
+	// every stat stay happy): zero-valued when no backend is configured.
+	ls := s.store.LoaderStats()
+	pairs = append(pairs,
+		metric("loads", int64(ls.Loads)),
+		metric("load_errors", int64(ls.LoadErrors)),
+		metric("herd_coalesced", int64(ls.HerdCoalesced)),
+		metric("stale_served", int64(ls.StaleServed)),
+		metric("negative_hits", int64(ls.NegativeHits)),
+		metric("breaker_state", int64(ls.Backend.BreakerState)),
+		metric("breaker_opens", int64(ls.Backend.BreakerOpens)),
+		metric("writebehind_depth", int64(ls.WriteBehindDepth)),
+		metric("writebehind_drops", int64(ls.WriteBehindDrops)),
+	)
 	if v2 && flushLast != nil {
 		pairs = append(pairs, wire.Pair{Key: []byte("flush_last_error"),
 			Cols: [][]byte{[]byte(flushLast.Error())}})
 	}
 	return wire.Response{Status: wire.StatusOK, Pairs: pairs}
+}
+
+// Shutdown stops the server gracefully: it stops accepting, then gives
+// in-flight connections up to timeout to finish and disconnect on their own
+// (every frame already received keeps executing and its responses keep
+// flowing back). Connections still alive when the budget lapses are
+// force-closed — their unread frames are lost, which is why the return value
+// matters: true means every connection drained cleanly, false means the
+// drain timed out and clients may have seen mid-pipeline resets. Either way
+// all handlers have exited when Shutdown returns. The store is not touched;
+// the caller flushes/checkpoints it after the network is quiet.
+func (s *Server) Shutdown(timeout time.Duration) bool {
+	s.done.Store(true)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Lock()
+	for _, l := range s.udp {
+		l.conn.Close() // datagram service has no drain: no connection state
+	}
+	s.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return true
+	case <-time.After(timeout):
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	<-drained
+	return false
 }
 
 // Close stops accepting, closes all connections and UDP sockets, and waits

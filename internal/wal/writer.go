@@ -56,6 +56,18 @@ type Writer struct {
 	flushErrs atomic.Int64
 	lastErr   atomic.Pointer[error]
 
+	// Retry pacing for a sick device: after a failed flush the background
+	// flusher waits out an exponentially growing window (retryBase doubling
+	// up to retryMaxBackoff, guarded by fmu) before re-attempting, instead of
+	// hammering the device every tick while records pile up safely in the
+	// append buffer. Foreground flushes (Flush, Rotate, Close) always attempt
+	// immediately — a checkpoint or shutdown must not wait out the window.
+	// flushRetries counts attempts made while a failure's backoff was
+	// pending, foreground or background.
+	backoff      time.Duration
+	retryAt      time.Time
+	flushRetries atomic.Int64
+
 	flushCh chan struct{} // kicks the flusher
 	done    chan struct{}
 	wg      sync.WaitGroup
@@ -73,6 +85,14 @@ const maxRetainedLogBuf = 1 << 20
 // kickThreshold is the buffered-bytes level past which an append wakes the
 // flusher early instead of waiting for the interval tick.
 const kickThreshold = 1 << 20
+
+// retryBase and retryMaxBackoff bound the background flusher's retry pacing
+// after a failed flush: the wait doubles from retryBase per consecutive
+// failure and caps at retryMaxBackoff.
+const (
+	retryBase       = 50 * time.Millisecond
+	retryMaxBackoff = 5 * time.Second
+)
 
 // newWriter opens (creating or appending) the generation-gen log file for a
 // worker.
@@ -254,6 +274,11 @@ func (w *Writer) Flush() error {
 // a transient device error loses nothing and log order always matches
 // append order. Caller holds fmu.
 func (w *Writer) flushLocked() error {
+	if w.backoff > 0 {
+		// A prior flush failed and its backoff window is (or was) pending:
+		// this attempt is a retry, whatever its outcome.
+		w.flushRetries.Add(1)
+	}
 	if w.fbufOff < len(w.fbuf) {
 		// A previous flush failed; drain its remaining bytes first.
 		if err := w.writeOut(); err != nil {
@@ -307,14 +332,37 @@ func (w *Writer) writeOut() error {
 			return w.noteErr(err)
 		}
 	}
+	w.backoff, w.retryAt = 0, time.Time{}
 	return nil
 }
 
-// noteErr records a flush failure for FlushStats and returns it.
+// noteErr records a flush failure for FlushStats, grows the retry backoff
+// window, and returns the error. Caller holds fmu.
 func (w *Writer) noteErr(err error) error {
 	w.flushErrs.Add(1)
 	w.lastErr.Store(&err)
+	if w.backoff == 0 {
+		w.backoff = retryBase
+	} else if w.backoff < retryMaxBackoff {
+		w.backoff *= 2
+		if w.backoff > retryMaxBackoff {
+			w.backoff = retryMaxBackoff
+		}
+	}
+	w.retryAt = time.Now().Add(w.backoff)
 	return err
+}
+
+// flushBackground is the flush loop's entry point: it honors the retry
+// backoff window, skipping the attempt while a failed batch's wait is still
+// pending (records keep accumulating in the append buffer meanwhile).
+func (w *Writer) flushBackground() {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	if !w.retryAt.IsZero() && time.Now().Before(w.retryAt) {
+		return
+	}
+	w.flushLocked() // failures are recorded by noteErr for FlushStats
 }
 
 // FlushStats reports how many background or foreground flushes have failed
@@ -326,6 +374,10 @@ func (w *Writer) FlushStats() (errs int64, last error) {
 	return w.flushErrs.Load(), last
 }
 
+// FlushRetries reports how many flush attempts were retries made under a
+// pending failure backoff.
+func (w *Writer) FlushRetries() int64 { return w.flushRetries.Load() }
+
 func (w *Writer) flushLoop(every time.Duration) {
 	defer w.wg.Done()
 	t := time.NewTicker(every)
@@ -333,9 +385,9 @@ func (w *Writer) flushLoop(every time.Duration) {
 	for {
 		select {
 		case <-t.C:
-			w.Flush() // failures are recorded by noteErr for FlushStats
+			w.flushBackground()
 		case <-w.flushCh:
-			w.Flush()
+			w.flushBackground()
 		case <-w.done:
 			return
 		}
@@ -496,6 +548,14 @@ func (s *Set) FlushStats() (errs int64, last error) {
 		}
 	}
 	return errs, last
+}
+
+// FlushRetries sums backoff-pending flush retries across the set.
+func (s *Set) FlushRetries() (n int64) {
+	for _, w := range s.writers {
+		n += w.FlushRetries()
+	}
+	return n
 }
 
 // Close flushes and closes every writer.

@@ -25,6 +25,7 @@ func seedRequestBodies(f *testing.F) {
 		{
 			{Op: OpPutTTL, Key: []byte("ttl"), TTL: 300, Puts: []ColData{{Col: 0, Data: []byte("d")}}},
 			{Op: OpTouch, Key: []byte("ttl"), TTL: 60},
+			{Op: OpGetOrLoad, Key: []byte("miss"), Cols: []int{0}},
 		},
 	}
 	for _, reqs := range batches {

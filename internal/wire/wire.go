@@ -95,6 +95,13 @@ const (
 	// OpTouch resets a key's TTL without changing its value (TTL 0 removes
 	// the expiry). StatusNotFound if the key is absent or already expired.
 	OpTouch OpCode = 8
+	// OpGetOrLoad is OpGet reading through the server's backend tier on
+	// miss: concurrent misses for one key coalesce into a single backend
+	// load server-side. Responses may carry StatusStale when the backend is
+	// unavailable and an expired resident value is served under the
+	// max-stale window. Like the other cache-mode ops it is protocol v2
+	// surface; v1 connections get StatusError. Encodes exactly like OpGet.
+	OpGetOrLoad OpCode = 9
 )
 
 // Status codes.
@@ -105,6 +112,10 @@ const (
 	// StatusConflict answers an OpCas whose ExpectVersion no longer matches;
 	// Response.Version carries the key's current version (0 if absent).
 	StatusConflict uint8 = 3
+	// StatusStale answers an OpGetOrLoad whose backend could not be reached
+	// and whose value is a resident expired one served under the server's
+	// max-stale degradation window; Cols/Version are otherwise as StatusOK.
+	StatusStale uint8 = 4
 )
 
 // ColData is a column index with data (for puts and responses).
@@ -302,7 +313,7 @@ func parseRequestAlias(b []byte, r *Request, d *DecodeBuf) ([]byte, error) {
 	r.Key = b[:klen:klen]
 	b = b[klen:]
 	switch r.Op {
-	case OpGet, OpGetRange:
+	case OpGet, OpGetRange, OpGetOrLoad:
 		if len(b) < 1 {
 			return nil, errShort
 		}
@@ -685,7 +696,7 @@ func appendRequest(b []byte, r *Request) []byte {
 	b = binary.LittleEndian.AppendUint16(b, uint16(len(r.Key)))
 	b = append(b, r.Key...)
 	switch r.Op {
-	case OpGet, OpGetRange:
+	case OpGet, OpGetRange, OpGetOrLoad:
 		b = append(b, byte(len(r.Cols)))
 		for _, c := range r.Cols {
 			b = binary.LittleEndian.AppendUint16(b, uint16(c))
@@ -726,7 +737,7 @@ func parseRequest(b []byte, r *Request) ([]byte, error) {
 	r.Key = append([]byte(nil), b[:klen]...)
 	b = b[klen:]
 	switch r.Op {
-	case OpGet, OpGetRange:
+	case OpGet, OpGetRange, OpGetOrLoad:
 		if len(b) < 1 {
 			return nil, errShort
 		}
