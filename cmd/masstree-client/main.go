@@ -19,6 +19,12 @@
 // (protocol v2) operations: putttl stores a value that expires TTL_SECONDS
 // from now, touch resets an existing key's TTL without rewriting it, and
 // getorload reads through to the server's -backend tier on a miss.
+//
+// Passing -addrs with a comma-separated node list switches the client into
+// cluster mode: every keyed command routes to the key's consistent-hash
+// owner (the same ring the cluster tests pin), stats sums numeric counters
+// across all reachable nodes, and scan is refused because a range spans
+// shards.
 package main
 
 import (
@@ -28,17 +34,24 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/wire"
 )
 
 func main() {
 	var addr = flag.String("addr", "127.0.0.1:7500", "server address")
+	var addrs = flag.String("addrs", "", "comma-separated server addresses; with more than one, keys route by consistent hash (cluster mode)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
 		usage()
+	}
+	if *addrs != "" {
+		runCluster(strings.Split(*addrs, ","), args)
+		return
 	}
 	c, err := client.Dial(*addr)
 	if err != nil {
@@ -200,6 +213,146 @@ func main() {
 	}
 }
 
+// runCluster serves the key-routed subset of commands over a cluster.Cluster:
+// each key is served by its consistent-hash owner, and stats aggregates
+// numeric counters across every reachable node. scan is refused — a range
+// query spans shards and the cluster layer does not merge ranges.
+func runCluster(addrs []string, args []string) {
+	cl, err := cluster.New(cluster.Config{Addrs: addrs})
+	if err != nil {
+		log.Fatalf("masstree-client: %v", err)
+	}
+	defer cl.Close()
+
+	parseCols := func(raw []string) []int {
+		var cols []int
+		for _, a := range raw {
+			n, err := strconv.Atoi(a)
+			if err != nil {
+				log.Fatalf("masstree-client: bad column %q", a)
+			}
+			cols = append(cols, n)
+		}
+		return cols
+	}
+
+	switch args[0] {
+	case "get":
+		if len(args) < 2 {
+			usage()
+		}
+		vals, ver, ok, err := cl.Get([]byte(args[1]), parseCols(args[2:]))
+		check(err)
+		if !ok {
+			fmt.Println("(not found)")
+			os.Exit(1)
+		}
+		fmt.Printf("version %d (node %d)\n", ver, cl.Owner([]byte(args[1])))
+		for i, v := range vals {
+			fmt.Printf("col %d: %q\n", i, v)
+		}
+	case "put":
+		if len(args) != 3 {
+			usage()
+		}
+		ver, err := cl.PutSimple([]byte(args[1]), []byte(args[2]))
+		check(err)
+		fmt.Printf("ok (version %d, node %d)\n", ver, cl.Owner([]byte(args[1])))
+	case "putcol":
+		if len(args) < 4 || len(args)%2 != 0 {
+			usage()
+		}
+		var puts []wire.ColData
+		for i := 2; i < len(args); i += 2 {
+			col, err := strconv.Atoi(args[i])
+			if err != nil {
+				log.Fatalf("masstree-client: bad column %q", args[i])
+			}
+			puts = append(puts, wire.ColData{Col: col, Data: []byte(args[i+1])})
+		}
+		ver, err := cl.Put([]byte(args[1]), puts)
+		check(err)
+		fmt.Printf("ok (version %d, node %d)\n", ver, cl.Owner([]byte(args[1])))
+	case "cas":
+		if len(args) != 4 {
+			usage()
+		}
+		expect, err := strconv.ParseUint(args[2], 10, 64)
+		if err != nil {
+			log.Fatalf("masstree-client: bad expected version %q", args[2])
+		}
+		ver, ok, err := cl.CasPut([]byte(args[1]), expect,
+			[]wire.ColData{{Col: 0, Data: []byte(args[3])}})
+		check(err)
+		if !ok {
+			fmt.Printf("conflict (current version %d)\n", ver)
+			os.Exit(1)
+		}
+		fmt.Printf("ok (version %d)\n", ver)
+	case "putttl":
+		if len(args) != 4 {
+			usage()
+		}
+		ttl := parseTTL(args[3])
+		ver, err := cl.PutTTL([]byte(args[1]),
+			[]wire.ColData{{Col: 0, Data: []byte(args[2])}}, ttl)
+		check(err)
+		fmt.Printf("ok (version %d, ttl %ds)\n", ver, ttl)
+	case "touch":
+		if len(args) != 3 {
+			usage()
+		}
+		ttl := parseTTL(args[2])
+		ver, ok, err := cl.Touch([]byte(args[1]), ttl)
+		check(err)
+		if !ok {
+			fmt.Println("(not found or expired)")
+			os.Exit(1)
+		}
+		fmt.Printf("ok (version %d, ttl %ds)\n", ver, ttl)
+	case "getorload":
+		if len(args) < 2 {
+			usage()
+		}
+		vals, ver, stale, ok, err := cl.GetOrLoad([]byte(args[1]), parseCols(args[2:]))
+		check(err)
+		if !ok {
+			fmt.Println("(not found)")
+			os.Exit(1)
+		}
+		if stale {
+			fmt.Printf("version %d (STALE: backend unreachable, value past its TTL)\n", ver)
+		} else {
+			fmt.Printf("version %d\n", ver)
+		}
+		for i, v := range vals {
+			fmt.Printf("col %d: %q\n", i, v)
+		}
+	case "del":
+		if len(args) != 2 {
+			usage()
+		}
+		existed, err := cl.Remove([]byte(args[1]))
+		check(err)
+		fmt.Println("removed:", existed)
+	case "stats":
+		agg, err := cl.StatsAggregate()
+		check(err)
+		names := make([]string, 0, len(agg))
+		for name := range agg {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("%-18s %d\n", name, agg[name])
+		}
+	case "scan":
+		log.Fatalf("masstree-client: scan is not supported in cluster mode (a range spans shards); point -addr at one node")
+	default:
+		usage()
+	}
+}
+
 func parseTTL(s string) uint32 {
 	n, err := strconv.ParseUint(s, 10, 32)
 	if err != nil {
@@ -223,7 +376,12 @@ func check(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: masstree-client [-addr host:port] COMMAND
+	fmt.Fprintln(os.Stderr, `usage: masstree-client [-addr host:port | -addrs a:7500,b:7500,...] COMMAND
+  With -addrs, keys route to their consistent-hash owner across the listed
+  nodes (cluster mode): get/put/putcol/cas/putttl/touch/getorload/del go to
+  the key's owner, stats aggregates numeric counters across all reachable
+  nodes, and scan is refused (ranges span shards).
+
   get KEY [COL...]             read a key (prints its version and columns)
   put KEY VALUE                write column 0
   putcol KEY COL VALUE [...]   write specific columns atomically

@@ -1,17 +1,55 @@
 package main
 
 import (
-	"bufio"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
 
 	"repro/internal/client"
 )
+
+// serverLogs collects the re-exec'd server's stderr as cmd.Stderr. Handing
+// exec a plain io.Writer (not StderrPipe) matters: exec's own copier then
+// drains the pipe and cmd.Wait blocks until every byte has landed here, so
+// post-exit assertions see the complete shutdown output. (The previous
+// StderrPipe+scanner shape flaked — Wait closes the pipe on process exit
+// and can discard still-buffered final log lines.)
+type serverLogs struct {
+	mu     sync.Mutex
+	b      strings.Builder
+	addrCh chan string
+	sent   bool
+}
+
+func (l *serverLogs) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.b.Write(p)
+	if !l.sent {
+		s := l.b.String()
+		if i := strings.Index(s, "serving on "); i >= 0 {
+			rest := s[i+len("serving on "):]
+			if j := strings.IndexByte(rest, '\n'); j >= 0 { // full line landed
+				if fields := strings.Fields(rest[:j]); len(fields) > 0 {
+					l.addrCh <- fields[0]
+					l.sent = true
+				}
+			}
+		}
+	}
+	return len(p), nil
+}
+
+func (l *serverLogs) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
 
 // TestMain lets the test binary double as the server binary: with the
 // reexec marker set, it runs main's run() instead of the tests, so the
@@ -25,37 +63,17 @@ func TestMain(m *testing.M) {
 
 // startServer re-execs this test binary as a masstree-server with the given
 // flags and waits until it logs its bound address.
-func startServer(t *testing.T, args ...string) (cmd *exec.Cmd, addr string, logs *strings.Builder) {
+func startServer(t *testing.T, args ...string) (cmd *exec.Cmd, addr string, logs *serverLogs) {
 	t.Helper()
 	cmd = exec.Command(os.Args[0], append([]string{"-listen", "127.0.0.1:0"}, args...)...)
 	cmd.Env = append(os.Environ(), "MASSTREE_SERVER_REEXEC=1")
-	stderr, err := cmd.StderrPipe()
-	if err != nil {
-		t.Fatal(err)
-	}
+	logs = &serverLogs{addrCh: make(chan string, 1)}
+	cmd.Stderr = logs
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	logs = &strings.Builder{}
-	addrCh := make(chan string, 1)
-	go func() {
-		sc := bufio.NewScanner(stderr)
-		for sc.Scan() {
-			line := sc.Text()
-			logs.WriteString(line + "\n")
-			if i := strings.Index(line, "serving on "); i >= 0 {
-				fields := strings.Fields(line[i+len("serving on "):])
-				if len(fields) > 0 {
-					select {
-					case addrCh <- fields[0]:
-					default:
-					}
-				}
-			}
-		}
-	}()
 	select {
-	case addr = <-addrCh:
+	case addr = <-logs.addrCh:
 	case <-time.After(10 * time.Second):
 		cmd.Process.Kill()
 		t.Fatalf("server did not report its address; logs:\n%s", logs.String())
@@ -110,8 +128,8 @@ func TestGracefulShutdownClean(t *testing.T) {
 	if code := exitCode(t, cmd); code != 0 {
 		t.Fatalf("exit code %d, want 0; logs:\n%s", code, logs.String())
 	}
-	if !strings.Contains(logs.String(), "final checkpoint") {
-		t.Fatalf("no final checkpoint in logs:\n%s", logs.String())
+	if out := logs.String(); !strings.Contains(out, "final checkpoint") {
+		t.Fatalf("no final checkpoint in logs:\n%s", out)
 	}
 	// The checkpoint is real: files landed in the data dir.
 	entries, err := os.ReadDir(data)
@@ -136,7 +154,7 @@ func TestGracefulShutdownDrainTimeout(t *testing.T) {
 	if code := exitCode(t, cmd); code != 1 {
 		t.Fatalf("exit code %d, want 1; logs:\n%s", code, logs.String())
 	}
-	if !strings.Contains(logs.String(), "drain timed out") {
-		t.Fatalf("no drain-timeout report in logs:\n%s", logs.String())
+	if out := logs.String(); !strings.Contains(out, "drain timed out") {
+		t.Fatalf("no drain-timeout report in logs:\n%s", out)
 	}
 }

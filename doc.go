@@ -95,6 +95,32 @@
 // WAL, drain the write-behind queue, final checkpoint — and exits nonzero
 // if any budget lapses.
 //
+// Cluster mode (internal/cluster) is the client-side sharding layer: a
+// cluster.Cluster consistent-hashes keys across N servers (a deterministic
+// virtual-node ring — FNV-1a finalized with splitmix64 — pinned by golden
+// tests, because changing the hash is a resharding event) and speaks
+// pipelined v2 to each through a small per-node connection pool.
+// GetBatch/PutBatch split by owner shard, fan out concurrently, and merge
+// replies in request order; a single-owner batch is forwarded verbatim, so
+// a Cluster over one node is byte-identical to a plain client.Conn.
+// Failure is the design center: per-node health follows the breaker
+// pattern (consecutive transport failures trip a node Down, after which
+// its shard fails fast with ErrNodeDown — no dial, no timeout, no parked
+// goroutine — until a single probe loop's dial+ping heals it, with zero
+// client restarts), Config.DialTimeout bounds connect+hello so a
+// blackholed address cannot hang construction or recovery, optional
+// hedged reads escape orphaned TCP flows by racing a fresh dial to the
+// same owner after HedgeAfter, and optional ReadFailover trades strict
+// shard ownership for availability by retrying idempotent reads once on
+// the ring successor. internal/netfault is the matching TCP-proxy fault
+// injector (latency, blackhole, refuse, freeze, truncate, reset, retarget,
+// heal); the partition-torture harness drives a live workload over three
+// proxied nodes through kill/partition/slow/heal schedules and asserts no
+// acked write is lost, no reply comes from the wrong shard, dead-shard ops
+// stay inside one timeout budget with bounded goroutines, and healed nodes
+// rejoin — see BENCH_cluster.json for the fan-out and hedged-p99 numbers.
+// masstree-client -addrs a,b,c routes the CLI through the same ring.
+//
 // Everything under wal and checkpoint reaches the disk through internal/vfs,
 // an injectable filesystem seam. vfs.MemFS models crash consistency the way
 // a conservative POSIX filesystem behaves (unsynced file data is lost;
@@ -114,7 +140,8 @@
 // client and CAS; examples/cachefront the bounded cache;
 // examples/readthrough the backend tier under faults).
 // BENCH_pipeline.json, BENCH_writepath.json, BENCH_pipeline_v2.json,
-// BENCH_recovery.json, BENCH_cache.json, and BENCH_backend.json record the
-// read-path, write-path, pipelining, restart, cache-mode, and
-// herd-coalescing numbers.
+// BENCH_recovery.json, BENCH_cache.json, BENCH_backend.json, and
+// BENCH_cluster.json record the read-path, write-path, pipelining,
+// restart, cache-mode, herd-coalescing, and cluster fan-out/hedging
+// numbers.
 package repro

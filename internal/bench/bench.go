@@ -133,23 +133,24 @@ func measure(workers, perWorker int, fn func(worker, i int)) float64 {
 
 // Registry maps experiment ids to their generators.
 var Registry = map[string]func(Scale) *Table{
-	"fig8":  Fig8,
-	"fig9":  Fig9,
-	"fig10": Fig10,
-	"fig11": Fig11,
-	"fig12": Fig12,
-	"fig13": Fig13,
-	"sec63": Sec63,
-	"sec64": Sec64,
-	"ckpt":  Ckpt,
-	"retry": Retry,
-	"shape": Shape,
-	"cache": Cache,
-	"herd":  Herd,
+	"fig8":    Fig8,
+	"fig9":    Fig9,
+	"fig10":   Fig10,
+	"fig11":   Fig11,
+	"fig12":   Fig12,
+	"fig13":   Fig13,
+	"sec63":   Sec63,
+	"sec64":   Sec64,
+	"ckpt":    Ckpt,
+	"retry":   Retry,
+	"shape":   Shape,
+	"cache":   Cache,
+	"herd":    Herd,
+	"cluster": Cluster,
 }
 
 // IDs lists experiment ids in presentation order.
-var IDs = []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "sec63", "sec64", "ckpt", "retry", "shape", "cache", "herd"}
+var IDs = []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "sec63", "sec64", "ckpt", "retry", "shape", "cache", "herd", "cluster"}
 
 // All runs every experiment.
 func All(sc Scale) []*Table {

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/kvstore"
+	"repro/internal/netfault"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// Cluster measures the client-side sharding layer along its two interesting
+// axes:
+//
+//   - Batch fan-out: GetBatch throughput through a 3-node cluster (batches
+//     split by owner and fanned out concurrently) against the same workload
+//     through a single-node cluster (batches forwarded verbatim). On one
+//     machine the three "nodes" share cores, so this measures the cost and
+//     win of split+merge, not 3x hardware.
+//   - Hedged reads under an orphaned flow: one node sits behind a netfault
+//     proxy; before each timed read the pool's established connections are
+//     frozen (bytes swallowed, nothing closed — the TCP picture of a
+//     transient partition). The unhedged client only recovers by burning
+//     read timeouts until the pool drains; the hedged client escapes on a
+//     fresh dial after HedgeAfter. p50/p99 of time-to-answer tell the story.
+func Cluster(sc Scale) *Table {
+	sc = sc.withDefaults()
+	t := &Table{
+		ID:      "cluster",
+		Title:   "cluster mode: 3-node batch fan-out and hedged reads under an orphaned flow",
+		Headers: []string{"config", "batch_keys_per_s", "vs_single", "read_p50", "read_p99"},
+	}
+
+	keys := sc.Keys
+	if keys > 20_000 {
+		keys = 20_000
+	}
+
+	// --- batch fan-out: single node vs 3-node split ---
+	single := clusterBatchRate(sc, 1, keys)
+	multi := clusterBatchRate(sc, 3, keys)
+	t.Rows = append(t.Rows,
+		[]string{"1-node cluster (verbatim forward)", fmt.Sprintf("%.0f", single), "1.00", "-", "-"},
+		[]string{"3-node cluster (split+fan-out)", fmt.Sprintf("%.0f", multi), ratio(multi, single), "-", "-"},
+	)
+
+	// --- hedged vs unhedged time-to-answer with the pool's flows frozen ---
+	trials := 8
+	if sc.Ops >= 100_000 {
+		trials = 20
+	}
+	unp50, unp99 := hedgeTrials(trials, 0)
+	hp50, hp99 := hedgeTrials(trials, 4*time.Millisecond)
+	t.Rows = append(t.Rows,
+		[]string{"unhedged read, frozen pool", "-", "-", unp50.String(), unp99.String()},
+		[]string{"hedged read (HedgeAfter=4ms)", "-", "-", hp50.String(), hp99.String()},
+	)
+
+	t.Notes = append(t.Notes,
+		"fan-out rows: same total GetBatch workload; the 3-node row pays split+merge and wins back concurrency (all nodes share this machine's cores, so the ratio is protocol overhead vs parallelism, not hardware scaling)",
+		"hedge rows: every trial freezes the established flows to one node, then times one read to success; unhedged recovery costs ~2 read timeouts (each pooled connection must fail before a fresh dial), hedged recovery costs ~HedgeAfter + one fresh dial")
+	return t
+}
+
+// clusterBatchRate seeds keys across n nodes and measures GetBatch keys/sec
+// with sc.Batch-sized batches striding the keyspace (so multi-node batches
+// genuinely split across owners).
+func clusterBatchRate(sc Scale, n, keyCount int) float64 {
+	addrs, stop := startClusterNodes(n, sc.Workers)
+	defer stop()
+	cl, err := cluster.New(cluster.Config{Addrs: addrs, Window: 64})
+	if err != nil {
+		panic(err)
+	}
+	defer cl.Close()
+
+	keys := make([][]byte, keyCount)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("ck%07d", i))
+	}
+	const seedBatch = 512
+	for off := 0; off < len(keys); off += seedBatch {
+		end := off + seedBatch
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[off:end]
+		puts := make([][]wire.ColData, len(chunk))
+		for i, k := range chunk {
+			puts[i] = []wire.ColData{{Col: 0, Data: k}} // value = key
+		}
+		if _, err := cl.PutBatch(chunk, puts); err != nil {
+			panic(err)
+		}
+	}
+
+	batch := sc.Batch
+	perWorker := sc.Ops / sc.Workers / batch
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	rate := measure(sc.Workers, perWorker, func(w, i int) {
+		kb := make([][]byte, batch)
+		start := (w*perWorker + i) * batch * 7
+		for j := range kb {
+			kb[j] = keys[(start+j*13)%len(keys)]
+		}
+		if _, err := cl.GetBatch(kb, nil); err != nil {
+			panic(err)
+		}
+	})
+	return rate * float64(batch)
+}
+
+// hedgeTrials runs the orphaned-flow scenario `trials` times against a
+// fresh cluster each trial (so no frozen connection leaks between trials)
+// and returns p50/p99 of time from issuing the read to a successful answer.
+func hedgeTrials(trials int, hedgeAfter time.Duration) (p50, p99 time.Duration) {
+	addrs, stop := startClusterNodes(3, 2)
+	defer stop()
+	proxy, err := netfault.New(addrs[0])
+	if err != nil {
+		panic(err)
+	}
+	defer proxy.Close()
+	addrs[0] = proxy.Addr()
+
+	// One throwaway cluster to find a key owned by the proxied node and seed it.
+	scout, err := cluster.New(cluster.Config{Addrs: addrs})
+	if err != nil {
+		panic(err)
+	}
+	var victim []byte
+	for i := 0; ; i++ {
+		k := []byte(fmt.Sprintf("hedge-%d", i))
+		if scout.Owner(k) == 0 {
+			victim = k
+			break
+		}
+	}
+	if _, err := scout.PutSimple(victim, []byte("v")); err != nil {
+		panic(err)
+	}
+	scout.Close()
+
+	opTimeout := 120 * time.Millisecond
+	samples := make([]time.Duration, 0, trials)
+	for tr := 0; tr < trials; tr++ {
+		cl, err := cluster.New(cluster.Config{
+			Addrs:        addrs,
+			OpTimeout:    opTimeout,
+			DialTimeout:  time.Second,
+			NodeFailures: 1 << 20, // latency experiment: the breaker must not hide the slow path
+			HedgeAfter:   hedgeAfter,
+		})
+		if err != nil {
+			panic(err)
+		}
+		// Warm both pool slots so the freeze catches the whole pool.
+		for i := 0; i < 2; i++ {
+			if _, _, ok, err := cl.Get(victim, nil); err != nil || !ok {
+				panic(fmt.Sprintf("warm read: ok=%v err=%v", ok, err))
+			}
+		}
+		proxy.FreezeConns()
+		start := time.Now()
+		for {
+			if _, _, ok, err := cl.Get(victim, nil); err == nil {
+				if !ok {
+					panic("victim key vanished")
+				}
+				break
+			}
+		}
+		samples = append(samples, time.Since(start))
+		cl.Close()
+		proxy.Heal() // reset fault bookkeeping between trials
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	pct := func(p int) time.Duration {
+		return samples[(len(samples)-1)*p/100].Round(100 * time.Microsecond)
+	}
+	return pct(50), pct(99)
+}
+
+// startClusterNodes brings up n in-memory stores behind their own servers.
+func startClusterNodes(n, workers int) ([]string, func()) {
+	stores := make([]*kvstore.Store, n)
+	srvs := make([]*server.Server, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		st, err := kvstore.Open(kvstore.Config{Workers: workers, MaintainEvery: -1})
+		if err != nil {
+			panic(err)
+		}
+		srv := server.New(st, workers)
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			panic(err)
+		}
+		stores[i], srvs[i], addrs[i] = st, srv, srv.Addr().String()
+	}
+	return addrs, func() {
+		for i := range srvs {
+			srvs[i].Close()
+			stores[i].Close()
+		}
+	}
+}

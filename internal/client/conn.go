@@ -117,8 +117,9 @@ var errConnClosed = errors.New("client: connection closed")
 type ConnOption func(*connConfig)
 
 type connConfig struct {
-	window  int
-	timeout time.Duration
+	window      int
+	timeout     time.Duration
+	dialTimeout time.Duration
 }
 
 // WithTimeout arms a per-batch I/O deadline: a frame that cannot be written
@@ -131,6 +132,22 @@ func WithTimeout(d time.Duration) ConnOption {
 	return func(c *connConfig) {
 		if d > 0 {
 			c.timeout = d
+		}
+	}
+}
+
+// WithDialTimeout bounds connection establishment: the TCP connect AND the
+// hello exchange together must finish within d, or DialConn fails. Without
+// it, an address that accepts the TCP handshake but never answers the hello
+// — a blackholed route, a partitioned host, a frozen process — hangs
+// DialConn indefinitely, which in a cluster means one dead node can wedge
+// construction or a reconnect probe forever. Zero (the default) preserves
+// the old behavior: only the OS connect timeout applies and the hello wait
+// is unbounded.
+func WithDialTimeout(d time.Duration) ConnOption {
+	return func(c *connConfig) {
+		if d > 0 {
+			c.dialTimeout = d
 		}
 	}
 }
@@ -153,12 +170,19 @@ func DialConn(addr string, opts ...ConnOption) (*Conn, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	nc, err := net.Dial("tcp", addr)
+	d := net.Dialer{Timeout: cfg.dialTimeout}
+	nc, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	if tc, ok := nc.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
+	}
+	if cfg.dialTimeout > 0 {
+		// The deadline covers the hello exchange too: a peer that accepts
+		// the TCP handshake but never speaks (blackholed proxy, frozen
+		// process) must fail DialConn within the dial budget, not hang it.
+		nc.SetDeadline(time.Now().Add(cfg.dialTimeout))
 	}
 	w := bufio.NewWriterSize(nc, 1<<16)
 	r := bufio.NewReaderSize(nc, 1<<16)
@@ -173,6 +197,9 @@ func DialConn(addr string, opts ...ConnOption) (*Conn, error) {
 	if err != nil {
 		nc.Close()
 		return nil, fmt.Errorf("client: hello: %w", err)
+	}
+	if cfg.dialTimeout > 0 {
+		nc.SetDeadline(time.Time{}) // handshake done; per-batch deadlines take over
 	}
 	if ver != wire.Version2 {
 		nc.Close()

@@ -1,0 +1,530 @@
+// Package cluster is the client-side sharding layer: a Cluster
+// consistent-hashes keys across N masstree servers and speaks pipelined
+// protocol v2 to each through a small per-node connection pool. One process
+// is the ceiling no matter how fast the tree gets; the cluster layer is how
+// many stores serve one keyspace.
+//
+// Failure is a first-class input, not an afterthought:
+//
+//   - Per-node health follows the breaker pattern (internal/backend/wrap.go):
+//     NodeFailures consecutive transport failures trip a node to Down, after
+//     which operations against its shard fail fast with ErrNodeDown — no
+//     dial, no timeout wait, no goroutine parked — until the cool-down
+//     lapses and the probe loop's dial+ping succeeds (Probing→Up). A healed
+//     node rejoins with zero client restarts.
+//   - Every pooled connection carries the cluster's OpTimeout as its
+//     per-batch I/O deadline and DialTimeout over connect+hello, so a
+//     blackholed or frozen node costs at most one timeout budget per
+//     connection before the breaker takes over.
+//   - ReadFailover (off by default) retries idempotent reads once on the
+//     ring successor when the owner is down or fails mid-read. For a
+//     sharded cache this is a *degraded* answer — the successor may miss
+//     keys the owner holds, and GetOrLoad installs a secondary copy — so it
+//     trades strict shard ownership for availability; leave it off when
+//     tests assert "only the owner ever answers".
+//   - HedgeAfter (off by default) arms hedged reads: if the owner has not
+//     answered an idempotent read within the threshold, a second attempt is
+//     launched on a different pooled connection to the same node and the
+//     first answer wins. This defends against per-connection pathologies —
+//     a flow orphaned by a partition, head-of-line blocking behind a deep
+//     batch, a lossy path — without ever consulting the wrong shard.
+//
+// Batches shard transparently: GetBatch/PutBatch (and the general Do)
+// split a request batch by owner, fan the sub-batches out concurrently,
+// and merge replies back into request order. A batch that lands entirely
+// on one node is forwarded verbatim — which is why a Cluster over a single
+// node is byte-for-byte equivalent to a plain client.Conn (pinned by
+// TestClusterSingleNodeEquivalence).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Config sizes and arms a Cluster. The zero value of every field picks a
+// conservative default; only Addrs is required.
+type Config struct {
+	// Addrs are the node addresses. Order defines node indices in stats;
+	// ring positions follow the address strings, not the order.
+	Addrs []string
+	// VirtualNodes per node on the hash ring (0 = DefaultVirtualNodes).
+	VirtualNodes int
+	// PoolSize is connections per node (0 = 2). Two is the useful minimum
+	// once hedged reads are armed: the hedge wants distinct TCP state.
+	PoolSize int
+	// Window is the per-connection in-flight batch bound (0 = client
+	// default).
+	Window int
+	// DialTimeout bounds connect+hello per dial attempt (0 = 2s). This is
+	// what keeps a blackholed address from hanging pool fills and probes.
+	DialTimeout time.Duration
+	// OpTimeout is the per-batch I/O deadline on every pooled connection
+	// (0 = 5s): a frozen node fails all its in-flight operations within
+	// this budget.
+	OpTimeout time.Duration
+	// NodeFailures is the consecutive-transport-failure threshold that
+	// trips a node Down (0 = 3).
+	NodeFailures int
+	// DownFor is how long a tripped node stays Down before the probe loop
+	// may test it (0 = 1s).
+	DownFor time.Duration
+	// ProbeInterval is the health loop period (0 = 100ms).
+	ProbeInterval time.Duration
+	// ReadFailover, when true, retries idempotent reads once on the ring
+	// successor after an owner failure (see the package comment's caveat).
+	ReadFailover bool
+	// HedgeAfter, when > 0, launches a second same-node attempt for
+	// idempotent reads that have not answered within the threshold.
+	HedgeAfter time.Duration
+}
+
+func (cfg *Config) withDefaults() error {
+	if len(cfg.Addrs) == 0 {
+		return errors.New("cluster: no addresses")
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 2
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = 5 * time.Second
+	}
+	if cfg.NodeFailures <= 0 {
+		cfg.NodeFailures = 3
+	}
+	if cfg.DownFor <= 0 {
+		cfg.DownFor = time.Second
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 100 * time.Millisecond
+	}
+	return nil
+}
+
+// Cluster routes operations across the ring. All methods are safe for
+// concurrent use. Construction is purely local (no network I/O): pools
+// fill lazily, so a cluster over a currently-dark node constructs
+// instantly and the node simply trips Down on first use.
+type Cluster struct {
+	cfg   Config
+	ring  *Ring
+	nodes []*node
+
+	stats clusterCounters
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds a Cluster over cfg.Addrs and starts its health-probe loop.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:  cfg,
+		ring: NewRing(cfg.Addrs, cfg.VirtualNodes),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	for _, addr := range cfg.Addrs {
+		c.nodes = append(c.nodes, newNode(addr, &c.cfg))
+	}
+	go c.probeLoop()
+	return c, nil
+}
+
+// Close stops the probe loop and closes every pooled connection.
+func (c *Cluster) Close() {
+	close(c.stop)
+	<-c.done
+	for _, n := range c.nodes {
+		n.close()
+	}
+}
+
+// probeLoop periodically offers Down nodes a recovery probe. One loop for
+// the whole cluster: recovery is decided by a single dial+ping per node
+// per interval, never by a herd of failing operations.
+func (c *Cluster) probeLoop() {
+	defer close(c.done)
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			for _, n := range c.nodes {
+				if n.state.Load() == NodeDown {
+					n.probe()
+				}
+			}
+		}
+	}
+}
+
+// Owner exposes the ring's key→node-index mapping (tests and operators
+// both want to ask "who owns this key").
+func (c *Cluster) Owner(key []byte) int { return c.ring.Owner(key) }
+
+// Ring exposes the deterministic hash ring itself.
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// exec runs one request batch against node n over a pooled connection and
+// returns cloned (caller-owned) responses. Transport failures feed the
+// node's breaker; protocol-level statuses do not.
+func (c *Cluster) exec(n *node, reqs []wire.Request) ([]wire.Response, error) {
+	conn, err := n.conn()
+	if err != nil {
+		return nil, err
+	}
+	p := conn.Go(reqs)
+	resps, err := p.Wait()
+	if err != nil {
+		p.Release()
+		n.feedback(conn, err)
+		return nil, fmt.Errorf("cluster: node %s: %w", n.addr, err)
+	}
+	out := cloneResponses(resps)
+	p.Release()
+	n.feedback(conn, nil)
+	return out, nil
+}
+
+// Do executes a mixed request batch, routing each request to its key's
+// owner: requests are grouped by owner (preserving relative order within
+// each node's sub-batch, which keeps the server's run-batching effective),
+// the groups fan out concurrently, and replies merge back into request
+// order. With a single owner the batch is forwarded verbatim.
+//
+// On a per-node failure the whole call returns that node's error; requests
+// routed to other nodes still executed (puts may have applied). Callers
+// needing partial results should shard their batches themselves.
+func (c *Cluster) Do(reqs []wire.Request) ([]wire.Response, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	// Fast path: one owner for the whole batch (always true for N=1).
+	first := c.ring.Owner(reqs[0].Key)
+	single := true
+	for i := 1; i < len(reqs); i++ {
+		if c.ring.Owner(reqs[i].Key) != first {
+			single = false
+			break
+		}
+	}
+	if single {
+		return c.exec(c.nodes[first], reqs)
+	}
+
+	c.stats.splitBatches.Add(1)
+	groups := make(map[int][]int) // node -> request indices, in order
+	for i := range reqs {
+		o := c.ring.Owner(reqs[i].Key)
+		groups[o] = append(groups[o], i)
+	}
+	out := make([]wire.Response, len(reqs))
+	errCh := make(chan error, len(groups))
+	for o, idxs := range groups {
+		go func(o int, idxs []int) {
+			sub := make([]wire.Request, len(idxs))
+			for j, i := range idxs {
+				sub[j] = reqs[i]
+			}
+			resps, err := c.exec(c.nodes[o], sub)
+			if err == nil {
+				for j, i := range idxs {
+					out[i] = resps[j]
+				}
+			}
+			errCh <- err
+		}(o, idxs)
+	}
+	var firstErr error
+	for range groups {
+		if err := <-errCh; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return out, firstErr
+	}
+	return out, nil
+}
+
+// readOne executes one idempotent single-key read with hedging and (if
+// configured) one failover retry on the ring successor.
+func (c *Cluster) readOne(req wire.Request) (wire.Response, error) {
+	owner := c.ring.Owner(req.Key)
+	resp, err := c.hedgedRead(c.nodes[owner], req)
+	if err != nil && c.cfg.ReadFailover {
+		if succ := c.ring.Successor(owner); succ != owner {
+			c.stats.failovers.Add(1)
+			if r2, err2 := c.exec(c.nodes[succ], []wire.Request{req}); err2 == nil {
+				return r2[0], nil
+			}
+		}
+	}
+	return resp, err
+}
+
+// execFresh runs one request batch over a brand-new connection, bypassing
+// the pool — the hedge path. On success the connection is donated to the
+// pool (it is proven good; the slot a timing-out connection is about to
+// vacate gets a warm replacement).
+func (c *Cluster) execFresh(n *node, reqs []wire.Request) ([]wire.Response, error) {
+	conn, err := n.dialFresh()
+	if err != nil {
+		return nil, err
+	}
+	p := conn.Go(reqs)
+	resps, err := p.Wait()
+	if err != nil {
+		p.Release()
+		conn.Close()
+		n.feedback(nil, err)
+		return nil, fmt.Errorf("cluster: node %s (hedge): %w", n.addr, err)
+	}
+	out := cloneResponses(resps)
+	p.Release()
+	n.feedback(nil, nil)
+	n.donate(conn)
+	return out, nil
+}
+
+// hedgedRead runs req against n; if the pooled attempt has not answered
+// within HedgeAfter, a second attempt is launched on a fresh connection
+// and the first *successful* answer wins (fresh TCP state is the point:
+// the pooled flow may be orphaned by a partition or stuck behind a deep
+// batch, while a new dial routes fine). If every attempt fails, the last
+// error is returned. With hedging unarmed it is a plain exec.
+func (c *Cluster) hedgedRead(n *node, req wire.Request) (wire.Response, error) {
+	reqs := []wire.Request{req}
+	if c.cfg.HedgeAfter <= 0 {
+		resps, err := c.exec(n, reqs)
+		if err != nil {
+			return wire.Response{}, err
+		}
+		return resps[0], nil
+	}
+	type attempt struct {
+		resps []wire.Response
+		err   error
+		hedge bool
+	}
+	ch := make(chan attempt, 2) // buffered: the loser writes and exits
+	launch := func(hedge bool) {
+		go func() {
+			var resps []wire.Response
+			var err error
+			if hedge {
+				resps, err = c.execFresh(n, reqs)
+			} else {
+				resps, err = c.exec(n, reqs)
+			}
+			ch <- attempt{resps: resps, err: err, hedge: hedge}
+		}()
+	}
+	launch(false)
+	outstanding := 1
+	hedged := false
+	timer := time.NewTimer(c.cfg.HedgeAfter)
+	defer timer.Stop()
+	var lastErr error
+	for outstanding > 0 {
+		select {
+		case a := <-ch:
+			outstanding--
+			if a.err == nil {
+				if a.hedge {
+					c.stats.hedgeWins.Add(1)
+				}
+				return a.resps[0], nil
+			}
+			lastErr = a.err
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				c.stats.hedges.Add(1)
+				launch(true)
+				outstanding++
+			}
+		}
+	}
+	return wire.Response{}, lastErr
+}
+
+// writeOne executes one single-key write (not idempotent: no hedge, no
+// failover — a write that landed off-owner would corrupt shard ownership).
+func (c *Cluster) writeOne(req wire.Request) (wire.Response, error) {
+	resps, err := c.exec(c.nodes[c.ring.Owner(req.Key)], []wire.Request{req})
+	if err != nil {
+		return wire.Response{}, err
+	}
+	return resps[0], nil
+}
+
+// Get retrieves columns of one key from its owner, mirroring
+// client.Conn.Get. The returned slices are caller-owned.
+func (c *Cluster) Get(key []byte, cols []int) (vals [][]byte, ver uint64, ok bool, err error) {
+	r, err := c.readOne(wire.Request{Op: wire.OpGet, Key: key, Cols: cols})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if r.Status != wire.StatusOK {
+		return nil, 0, false, nil
+	}
+	return r.Cols, r.Version, true, nil
+}
+
+// GetOrLoad is Get reading through the owner's backend tier on a miss,
+// mirroring client.Conn.GetOrLoad (stale marks a degraded answer).
+func (c *Cluster) GetOrLoad(key []byte, cols []int) (vals [][]byte, ver uint64, stale, ok bool, err error) {
+	r, err := c.readOne(wire.Request{Op: wire.OpGetOrLoad, Key: key, Cols: cols})
+	if err != nil {
+		return nil, 0, false, false, err
+	}
+	switch r.Status {
+	case wire.StatusOK, wire.StatusStale:
+		return r.Cols, r.Version, r.Status == wire.StatusStale, true, nil
+	case wire.StatusNotFound:
+		return nil, 0, false, false, nil
+	}
+	return nil, 0, false, false, fmt.Errorf("cluster: getorload status %d", r.Status)
+}
+
+// Put writes columns of one key on its owner and returns the new version.
+func (c *Cluster) Put(key []byte, puts []wire.ColData) (uint64, error) {
+	r, err := c.writeOne(wire.Request{Op: wire.OpPut, Key: key, Puts: puts})
+	if err != nil {
+		return 0, err
+	}
+	return r.Version, nil
+}
+
+// PutSimple writes data as column 0 of key.
+func (c *Cluster) PutSimple(key, data []byte) (uint64, error) {
+	return c.Put(key, []wire.ColData{{Col: 0, Data: data}})
+}
+
+// PutTTL writes columns of one key with a TTL in seconds on its owner.
+func (c *Cluster) PutTTL(key []byte, puts []wire.ColData, ttlSeconds uint32) (uint64, error) {
+	r, err := c.writeOne(wire.Request{Op: wire.OpPutTTL, Key: key, Puts: puts, TTL: ttlSeconds})
+	if err != nil {
+		return 0, err
+	}
+	if r.Status != wire.StatusOK {
+		return 0, fmt.Errorf("cluster: putttl status %d", r.Status)
+	}
+	return r.Version, nil
+}
+
+// Touch resets one key's TTL on its owner; ok false if absent or expired.
+func (c *Cluster) Touch(key []byte, ttlSeconds uint32) (ver uint64, ok bool, err error) {
+	r, err := c.writeOne(wire.Request{Op: wire.OpTouch, Key: key, TTL: ttlSeconds})
+	if err != nil {
+		return 0, false, err
+	}
+	switch r.Status {
+	case wire.StatusOK:
+		return r.Version, true, nil
+	case wire.StatusNotFound:
+		return 0, false, nil
+	}
+	return 0, false, fmt.Errorf("cluster: touch status %d", r.Status)
+}
+
+// CasPut conditionally writes one key on its owner, mirroring
+// client.Conn.CasPut (ok false = conflict, with the current version).
+func (c *Cluster) CasPut(key []byte, expect uint64, puts []wire.ColData) (ver uint64, ok bool, err error) {
+	r, err := c.writeOne(wire.Request{Op: wire.OpCas, Key: key, ExpectVersion: expect, Puts: puts})
+	if err != nil {
+		return 0, false, err
+	}
+	switch r.Status {
+	case wire.StatusOK:
+		return r.Version, true, nil
+	case wire.StatusConflict:
+		return r.Version, false, nil
+	}
+	return 0, false, fmt.Errorf("cluster: cas status %d", r.Status)
+}
+
+// Remove deletes one key on its owner; reports whether it existed.
+func (c *Cluster) Remove(key []byte) (bool, error) {
+	r, err := c.writeOne(wire.Request{Op: wire.OpRemove, Key: key})
+	if err != nil {
+		return false, err
+	}
+	return r.Status == wire.StatusOK, nil
+}
+
+// GetBatch reads many keys in one call: the batch splits by owner shard,
+// fans out concurrently, and merges into request order. resps[i] answers
+// keys[i] with the same statuses a single Get would see.
+func (c *Cluster) GetBatch(keys [][]byte, cols []int) ([]wire.Response, error) {
+	reqs := make([]wire.Request, len(keys))
+	for i, k := range keys {
+		reqs[i] = wire.Request{Op: wire.OpGet, Key: k, Cols: cols}
+	}
+	return c.Do(reqs)
+}
+
+// PutBatch writes many keys in one call, split and fanned out like
+// GetBatch; vers[i] is the new version of keys[i].
+func (c *Cluster) PutBatch(keys [][]byte, puts [][]wire.ColData) ([]uint64, error) {
+	reqs := make([]wire.Request, len(keys))
+	for i, k := range keys {
+		reqs[i] = wire.Request{Op: wire.OpPut, Key: k, Puts: puts[i]}
+	}
+	resps, err := c.Do(reqs)
+	if err != nil {
+		return nil, err
+	}
+	vers := make([]uint64, len(resps))
+	for i, r := range resps {
+		vers[i] = r.Version
+	}
+	return vers, nil
+}
+
+// cloneResponses deep-copies a response batch out of a Pending's reusable
+// decode scratch; cluster responses are always caller-owned because they
+// outlive the pooled connection's buffers (batch merges, hedge races).
+func cloneResponses(resps []wire.Response) []wire.Response {
+	out := make([]wire.Response, len(resps))
+	for i, r := range resps {
+		out[i] = wire.Response{Status: r.Status, Version: r.Version,
+			Cols: cloneCols(r.Cols), Pairs: clonePairs(r.Pairs)}
+	}
+	return out
+}
+
+func cloneCols(cols [][]byte) [][]byte {
+	if cols == nil {
+		return nil
+	}
+	out := make([][]byte, len(cols))
+	for i, c := range cols {
+		out[i] = append([]byte(nil), c...)
+	}
+	return out
+}
+
+func clonePairs(pairs []wire.Pair) []wire.Pair {
+	if pairs == nil {
+		return nil
+	}
+	out := make([]wire.Pair, len(pairs))
+	for i, p := range pairs {
+		out[i] = wire.Pair{Key: append([]byte(nil), p.Key...), Cols: cloneCols(p.Cols)}
+	}
+	return out
+}

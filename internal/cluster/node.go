@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+)
+
+// Node health states, reported numerically in stats (node<i>_state) so
+// pre-existing integer-parsing stats consumers keep working — the same
+// rule breaker_state follows server-side. The state machine mirrors the
+// backend breaker in internal/backend/wrap.go: Up≈closed, Down≈open,
+// Probing≈half-open.
+const (
+	// NodeUp: operations route to the node normally.
+	NodeUp = int32(0)
+	// NodeDown: the node accumulated Config.NodeFailures consecutive
+	// transport failures; operations fail fast with ErrNodeDown (no dial,
+	// no timeout wait, no goroutine parked) until the cool-down lapses and
+	// a probe succeeds.
+	NodeDown = int32(1)
+	// NodeProbing: the cool-down lapsed and the probe loop is testing the
+	// node with a fresh dial + ping. Operations still fail fast — one
+	// probe, not a thundering herd of retriers, decides recovery.
+	NodeProbing = int32(2)
+)
+
+// ErrNodeDown is returned (wrapped with the node address) for operations
+// against a node whose breaker is open. It is the fail-fast signal: the
+// caller spent no timeout budget and parked no goroutine.
+var ErrNodeDown = fmt.Errorf("cluster: node down")
+
+// node is one cluster member as the client sees it: a stable address, a
+// small pool of pipelined v2 connections, and a breaker-style health state
+// fed by transport outcomes and the probe loop.
+type node struct {
+	addr string
+	cfg  *Config
+
+	state atomic.Int32
+
+	mu        sync.Mutex
+	conns     []*client.Conn // fixed-size pool; nil slots dial lazily
+	next      int            // round-robin cursor over pool slots
+	fails     int            // consecutive transport failures while Up
+	downSince time.Time
+	downUntil time.Time // earliest probe after a trip
+	closed    bool
+
+	trips atomic.Uint64 // times the node was marked Down
+}
+
+func newNode(addr string, cfg *Config) *node {
+	return &node{addr: addr, cfg: cfg, conns: make([]*client.Conn, cfg.PoolSize)}
+}
+
+// dialOpts are the options every pooled connection is built with: the
+// cluster's op timeout becomes the per-batch I/O deadline (a frozen node
+// fails every in-flight op within budget) and the dial timeout bounds
+// connect+hello (a blackholed address cannot hang pool fill or probing).
+func (n *node) dialOpts() []client.ConnOption {
+	opts := []client.ConnOption{client.WithDialTimeout(n.cfg.DialTimeout)}
+	if n.cfg.OpTimeout > 0 {
+		opts = append(opts, client.WithTimeout(n.cfg.OpTimeout))
+	}
+	if n.cfg.Window > 0 {
+		opts = append(opts, client.WithWindow(n.cfg.Window))
+	}
+	return opts
+}
+
+// conn returns a healthy pooled connection (round-robin over the slots),
+// dialing the slot lazily if empty. Fails fast with ErrNodeDown when the
+// node is not Up.
+func (n *node) conn() (*client.Conn, error) {
+	if s := n.state.Load(); s != NodeUp {
+		return nil, fmt.Errorf("%w (%s)", ErrNodeDown, n.addr)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("cluster: closed")
+	}
+	slot := n.next
+	n.next = (slot + 1) % len(n.conns)
+	c := n.conns[slot]
+	n.mu.Unlock()
+	if c != nil {
+		return c, nil
+	}
+	// Dial outside the lock: a slow handshake must not serialize the pool.
+	// Losing a fill race just closes the extra connection.
+	c, err := client.DialConn(n.addr, n.dialOpts()...)
+	if err != nil {
+		n.feedback(nil, err)
+		return nil, err
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		c.Close()
+		return nil, fmt.Errorf("cluster: closed")
+	}
+	if n.conns[slot] == nil {
+		n.conns[slot] = c
+	} else {
+		old := c
+		c = n.conns[slot]
+		n.mu.Unlock()
+		old.Close()
+		return c, nil
+	}
+	n.mu.Unlock()
+	return c, nil
+}
+
+// dialFresh opens a brand-new connection outside the pool — the hedged
+// read's escape hatch from bad per-connection state (a frozen flow, a deep
+// queue). Fails fast when the node is not Up.
+func (n *node) dialFresh() (*client.Conn, error) {
+	if n.state.Load() != NodeUp {
+		return nil, fmt.Errorf("%w (%s)", ErrNodeDown, n.addr)
+	}
+	c, err := client.DialConn(n.addr, n.dialOpts()...)
+	if err != nil {
+		n.feedback(nil, err)
+	}
+	return c, err
+}
+
+// donate offers a fresh healthy connection to the pool; a full pool means
+// it is simply closed. Called after a hedge win so the proven-good
+// connection replaces whatever slot a timeout is about to vacate.
+func (n *node) donate(c *client.Conn) {
+	n.mu.Lock()
+	if !n.closed {
+		for i, pc := range n.conns {
+			if pc == nil {
+				n.conns[i] = c
+				n.mu.Unlock()
+				return
+			}
+		}
+	}
+	n.mu.Unlock()
+	c.Close()
+}
+
+// feedback records one operation outcome against the node's health. A
+// transport error discards the failed connection (its sticky error dooms
+// every future batch on it anyway) and counts toward the trip threshold;
+// success resets the streak. Status-level results (NotFound, Conflict,
+// even StatusError) are not failures — the node answered.
+func (n *node) feedback(c *client.Conn, err error) {
+	if err == nil {
+		n.mu.Lock()
+		n.fails = 0
+		n.mu.Unlock()
+		return
+	}
+	var stale *client.Conn
+	n.mu.Lock()
+	if c != nil {
+		for i, pc := range n.conns {
+			if pc == c {
+				n.conns[i] = nil
+				stale = c
+				break
+			}
+		}
+	}
+	tripped := false
+	if n.state.Load() == NodeUp {
+		n.fails++
+		if n.fails >= n.cfg.NodeFailures {
+			n.fails = 0
+			n.downSince = time.Now()
+			n.downUntil = n.downSince.Add(n.cfg.DownFor)
+			n.state.Store(NodeDown)
+			tripped = true
+		}
+	}
+	n.mu.Unlock()
+	if stale != nil {
+		stale.Close()
+	}
+	if tripped {
+		n.trips.Add(1)
+	}
+}
+
+// probe is the health loop's visit: for a Down node past its cool-down it
+// dials fresh and pings (OpStats); success seeds the pool with the probe
+// connection and restores Up, failure re-arms the cool-down. Returns true
+// if the node transitioned back to Up.
+func (n *node) probe() bool {
+	n.mu.Lock()
+	if n.closed || n.state.Load() != NodeDown || time.Now().Before(n.downUntil) {
+		n.mu.Unlock()
+		return false
+	}
+	n.state.Store(NodeProbing)
+	n.mu.Unlock()
+
+	c, err := client.DialConn(n.addr, n.dialOpts()...)
+	if err == nil {
+		_, err = c.Stats() // a full request round-trip, not just a handshake
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		if c != nil {
+			c.Close()
+		}
+		n.state.Store(NodeDown)
+		return false
+	}
+	if err != nil {
+		if c != nil {
+			c.Close()
+		}
+		n.downUntil = time.Now().Add(n.cfg.DownFor)
+		n.state.Store(NodeDown)
+		return false
+	}
+	// Recovered: the probe connection becomes pool slot 0 (unless racing
+	// state already filled it, which cannot happen while !Up, so keep it).
+	if n.conns[0] == nil {
+		n.conns[0] = c
+	} else {
+		c.Close()
+	}
+	n.fails = 0
+	n.state.Store(NodeUp)
+	return true
+}
+
+// close tears down the node's pool.
+func (n *node) close() {
+	n.mu.Lock()
+	n.closed = true
+	conns := n.conns
+	n.conns = make([]*client.Conn, len(conns))
+	n.mu.Unlock()
+	for _, c := range conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingGolden pins the ring's key→shard mapping as golden values. Every
+// client of a cluster must compute the same owner for every key — that is
+// the property the torture harness's "no reply from the wrong shard"
+// assertion rests on — so any change to the hash, the vnode labeling, or
+// the tie-break is a resharding event and must fail here loudly, not slip
+// silently into a deployment where old and new clients disagree about
+// ownership.
+func TestRingGolden(t *testing.T) {
+	r := NewRing([]string{"node-a:7500", "node-b:7500", "node-c:7500"}, 0)
+	golden := []struct {
+		key  string
+		node int
+	}{
+		{"alpha", 2},
+		{"bravo", 0},
+		{"charlie", 0},
+		{"delta", 0},
+		{"echo", 2},
+		{"foxtrot", 0},
+		{"golf", 1},
+		{"hotel", 2},
+		{"india", 2},
+		{"juliet", 2},
+		{"kilo", 1},
+		{"lima", 0},
+		{"", 2},
+		{"user:0001", 0},
+		{"user:0002", 1},
+		{"user:0003", 2},
+	}
+	for _, g := range golden {
+		if got := r.Owner([]byte(g.key)); got != g.node {
+			t.Errorf("Owner(%q) = %d, golden %d — the ring hash changed; this is a resharding event",
+				g.key, got, g.node)
+		}
+	}
+	if s0, s1, s2 := r.Successor(0), r.Successor(1), r.Successor(2); s0 != 2 || s1 != 0 || s2 != 0 {
+		t.Errorf("Successor = %d,%d,%d, golden 2,0,0", s0, s1, s2)
+	}
+}
+
+// Two rings over the same addresses must agree exactly; the ring must not
+// depend on construction order of anything internal.
+func TestRingDeterministic(t *testing.T) {
+	addrs := []string{"h1:1", "h2:2", "h3:3", "h4:4"}
+	a, b := NewRing(addrs, 32), NewRing(addrs, 32)
+	for i := 0; i < 10_000; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("rings over identical addrs disagree on %q", k)
+		}
+	}
+}
+
+// Key distribution across shards must be roughly uniform — a structurally
+// skewed ring silently turns one node into the bottleneck. The bound is
+// loose (each shard within 2x of fair share) because consistent hashing
+// with finite vnodes has real variance; the regression this guards against
+// is the pathological clustering a weak point hash produces.
+func TestRingBalance(t *testing.T) {
+	const nodes, keys = 3, 30_000
+	addrs := make([]string, nodes)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("node-%c:7500", 'a'+i)
+	}
+	r := NewRing(addrs, 0)
+	counts := make([]int, nodes)
+	for i := 0; i < keys; i++ {
+		counts[r.Owner([]byte(fmt.Sprintf("key-%06d", i)))]++
+	}
+	fair := keys / nodes
+	for n, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("node %d owns %d of %d keys (fair share %d): ring is structurally skewed %v",
+				n, c, keys, fair, counts)
+		}
+	}
+}
+
+// Removing one node must not reshuffle keys among the survivors — the
+// consistent-hashing property that makes rebalance (future work) cheap:
+// only the dead node's keys move.
+func TestRingConsistency(t *testing.T) {
+	full := NewRing([]string{"a:1", "b:1", "c:1"}, 64)
+	reduced := NewRing([]string{"a:1", "b:1"}, 64)
+	for i := 0; i < 10_000; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		was := full.Owner(k)
+		if was == 2 {
+			continue // the removed node's keys may go anywhere
+		}
+		if now := reduced.Owner(k); now != was {
+			t.Fatalf("key %q moved %d→%d though its owner survived", k, was, now)
+		}
+	}
+}
+
+// Successor must never return the node itself on a multi-node ring (it is
+// the failover target) and must be stable.
+func TestRingSuccessor(t *testing.T) {
+	r := NewRing([]string{"a:1", "b:1", "c:1", "d:1"}, 16)
+	for n := 0; n < 4; n++ {
+		s := r.Successor(n)
+		if s == n {
+			t.Errorf("Successor(%d) = itself on a 4-node ring", n)
+		}
+		if s != r.Successor(n) {
+			t.Errorf("Successor(%d) unstable", n)
+		}
+	}
+	if one := NewRing([]string{"a:1"}, 16); one.Successor(0) != 0 {
+		t.Error("Successor on a 1-node ring must return the node")
+	}
+}

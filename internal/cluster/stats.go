@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// clusterCounters are the cluster-side health counters, all monotonic.
+type clusterCounters struct {
+	failovers    atomic.Uint64 // idempotent reads retried on the ring successor
+	hedges       atomic.Uint64 // hedged second attempts launched
+	hedgeWins    atomic.Uint64 // hedges whose answer arrived first
+	splitBatches atomic.Uint64 // Do/GetBatch/PutBatch calls spanning >1 shard
+}
+
+// NodeStats is one node's health as the cluster sees it.
+type NodeStats struct {
+	Addr  string
+	State int32 // NodeUp / NodeDown / NodeProbing
+	Trips uint64
+	// DownFor is how long the node has been non-Up (0 when Up) — the
+	// operator's "how stale is this shard" number.
+	DownFor time.Duration
+}
+
+// Stats is the cluster's aggregate client-side health snapshot.
+type Stats struct {
+	Nodes        []NodeStats
+	Failovers    uint64
+	Hedges       uint64
+	HedgeWins    uint64
+	SplitBatches uint64
+}
+
+// ClusterStats snapshots per-node health and the cluster counters. Purely
+// local: no network I/O.
+func (c *Cluster) ClusterStats() Stats {
+	s := Stats{
+		Failovers:    c.stats.failovers.Load(),
+		Hedges:       c.stats.hedges.Load(),
+		HedgeWins:    c.stats.hedgeWins.Load(),
+		SplitBatches: c.stats.splitBatches.Load(),
+	}
+	for _, n := range c.nodes {
+		ns := NodeStats{Addr: n.addr, State: n.state.Load(), Trips: n.trips.Load()}
+		if ns.State != NodeUp {
+			n.mu.Lock()
+			if !n.downSince.IsZero() {
+				ns.DownFor = time.Since(n.downSince)
+			}
+			n.mu.Unlock()
+		}
+		s.Nodes = append(s.Nodes, ns)
+	}
+	return s
+}
+
+// StatsAggregate fans an OpStats out to every reachable node and returns
+// the numeric server metrics summed across nodes, plus the cluster-side
+// view: node<i>_state (numeric, 0/1/2 — same all-numeric rule as
+// breaker_state, so integer-parsing consumers never break; see
+// stats_compat_test.go's precedent), nodes_up, failovers, hedges,
+// hedge_wins, split_batches. Down nodes contribute only their state; the
+// call fails only if every node is unreachable.
+func (c *Cluster) StatsAggregate() (map[string]int64, error) {
+	out := map[string]int64{}
+	reachable := 0
+	var lastErr error
+	for i, n := range c.nodes {
+		out[fmt.Sprintf("node%d_state", i)] = int64(n.state.Load())
+		if n.state.Load() != NodeUp {
+			continue
+		}
+		resps, err := c.exec(n, []wire.Request{{Op: wire.OpStats}})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		reachable++
+		for _, pair := range resps[0].Pairs {
+			if v, ok := parseInt(pair.Cols[0]); ok {
+				out[string(pair.Key)] += v
+			}
+			// Non-numeric metrics (flush_last_error) are per-node strings;
+			// summing is meaningless, so the aggregate view skips them —
+			// the same "numeric only" contract client.Conn.Stats applies.
+		}
+	}
+	if reachable == 0 {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("%w (all nodes)", ErrNodeDown)
+		}
+		return nil, lastErr
+	}
+	out["nodes_up"] = int64(reachable)
+	out["failovers"] = int64(c.stats.failovers.Load())
+	out["hedges"] = int64(c.stats.hedges.Load())
+	out["hedge_wins"] = int64(c.stats.hedgeWins.Load())
+	out["split_batches"] = int64(c.stats.splitBatches.Load())
+	return out, nil
+}
+
+// parseInt is a minimal base-10 signed parse over raw stat bytes.
+func parseInt(b []byte) (int64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	neg := false
+	i := 0
+	if b[0] == '-' {
+		neg = true
+		i = 1
+		if len(b) == 1 {
+			return 0, false
+		}
+	}
+	var v int64
+	for ; i < len(b); i++ {
+		if b[i] < '0' || b[i] > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(b[i]-'0')
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"errors"
 	"strconv"
 	"testing"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/client"
 	"repro/internal/kvstore"
 	"repro/internal/vfs"
@@ -82,5 +84,67 @@ func TestFlushLastErrorOnlyOnV2(t *testing.T) {
 	}
 	if _, err := v2.Stats(); err != nil { // numeric view skips the string
 		t.Fatalf("v2 numeric Stats failed on the string metric: %v", err)
+	}
+}
+
+// TestStatsNumericWithBreakerTripped audits the state-machine metrics
+// against the same compatibility rule while they are *non-zero*: with the
+// backend breaker freshly tripped, breaker_state must report its state as
+// an integer (1 = open, never a name like "open") and every other v1 stat
+// must stay ParseInt-clean. The cluster client's node_state follows the
+// identical convention (pinned by TestClusterStatsAllNumeric); this is the
+// server half of that audit, taken at the worst moment — mid-outage, when
+// an operator's old binary is most likely to be pointed at the stats
+// endpoint.
+func TestStatsNumericWithBreakerTripped(t *testing.T) {
+	m := backend.NewMock(0)
+	w := backend.Wrap(m, backend.WrapConfig{BreakerFailures: 1, BreakerOpenFor: time.Hour})
+	store, err := kvstore.Open(kvstore.Config{Workers: 1, MaintainEvery: -1, Backend: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(store, 1)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		store.Close()
+	})
+
+	// Trip the breaker through the wire path: one failing read-through load.
+	m.SetError(errors.New("backend down"))
+	v2, err := client.DialConn(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	if _, _, _, _, err := v2.GetOrLoad([]byte("absent"), nil); err == nil {
+		t.Fatal("getorload against a dead backend succeeded")
+	}
+	if st := store.LoaderStats(); st.Backend.BreakerState != backend.BreakerOpen {
+		t.Fatalf("breaker not open: %+v", st.Backend)
+	}
+
+	v1, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1.Close()
+	raw, err := v1.StatsRaw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, present := raw["breaker_state"]
+	if !present {
+		t.Fatal("breaker_state missing from v1 stats")
+	}
+	if n, err := strconv.ParseInt(state, 10, 64); err != nil || n != int64(backend.BreakerOpen) {
+		t.Fatalf("breaker_state=%q, want the integer %d", state, backend.BreakerOpen)
+	}
+	for k, v := range raw { // the old binary's ParseInt loop, mid-outage
+		if _, err := strconv.ParseInt(v, 10, 64); err != nil {
+			t.Fatalf("v1 stat %q=%q is not numeric", k, v)
+		}
 	}
 }
