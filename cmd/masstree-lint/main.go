@@ -1,0 +1,58 @@
+// Command masstree-lint runs the repository's static-analysis suite — the
+// machine-checked concurrency and allocation invariants under
+// internal/analysis/passes — over the module and exits non-zero on any
+// unsuppressed finding.
+//
+// Usage:
+//
+//	go run ./cmd/masstree-lint [-v] [packages...]
+//
+// With no package patterns it checks ./... . -v also lists findings
+// suppressed by //lint:allow annotations, with their reasons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/passes"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "also list findings suppressed by //lint:allow")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Packages(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "masstree-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings := analysis.Run(pkgs, passes.All())
+	failed := false
+	suppressed := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressed++
+			if *verbose {
+				fmt.Printf("%s [suppressed: %s]\n", f, f.Reason)
+			}
+			continue
+		}
+		failed = true
+		fmt.Println(f)
+	}
+	if *verbose && suppressed > 0 {
+		fmt.Printf("masstree-lint: %d finding(s) suppressed by //lint:allow\n", suppressed)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

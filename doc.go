@@ -134,14 +134,39 @@
 // are written the same way: build a store on a Fault-wrapped MemFS, arm
 // CrashAt(n), Crash(keep) into a disk image, reopen, and assert.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
-// results. The implementation lives under internal/; runnable entry points
-// are under cmd/ and examples/ (examples/pipeline demonstrates the async
-// client and CAS; examples/cachefront the bounded cache;
-// examples/readthrough the backend tier under faults).
-// BENCH_pipeline.json, BENCH_writepath.json, BENCH_pipeline_v2.json,
-// BENCH_recovery.json, BENCH_cache.json, BENCH_backend.json, and
-// BENCH_cluster.json record the read-path, write-path, pipelining,
-// restart, cache-mode, herd-coalescing, and cluster fan-out/hedging
-// numbers.
+// The invariants those paragraphs lean on — locks released on every path,
+// tree reads bracketed by epoch pins, hot paths allocation-free, scratch
+// aliases never stored past reuse, atomic fields never touched plainly —
+// are machine-checked. internal/analysis is a dependency-free
+// go/analysis-style suite whose five passes (lockpair, epochguard, noalloc,
+// scratchalias, atomicfield) verify them at build time; `go run
+// ./cmd/masstree-lint ./...` must exit clean and CI enforces it. Contracts
+// are declared where the code is:
+//
+//	//masstree:locked n        n is locked on entry and at every return
+//	//masstree:unlocks n       n is locked on entry, released on every path
+//	//masstree:returns-locked  the non-nil result is locked; nil-check it
+//	//masstree:acquires n.h    this statement acquires n.h invisibly
+//	//masstree:releases n.h    this statement releases n.h invisibly
+//	//masstree:pinned          the caller holds an epoch pin across this call
+//	//masstree:noalloc         steady state performs zero heap allocations
+//	//masstree:scratch         this type hands out aliases of reusable memory
+//
+// Deliberate exceptions carry //lint:allow <analyzer> <reason> on the
+// offending line or the line above; the reason is mandatory, and a bare
+// allow is itself a finding. Each analyzer is backed by golden fixtures
+// under its testdata/src (run with the ordinary go test).
+//
+// See DESIGN.md for the system inventory: the package map, the invariant
+// catalog behind the analyzers, the numbered paper-to-Go substitutions,
+// and the experiment index. Measured results live in the committed
+// BENCH_*.json snapshots at the repository root (BENCH_pipeline.json,
+// BENCH_writepath.json, BENCH_pipeline_v2.json, BENCH_recovery.json,
+// BENCH_cache.json, BENCH_backend.json, BENCH_cluster.json — read-path,
+// write-path, pipelining, restart, cache-mode, herd-coalescing, and cluster
+// fan-out/hedging numbers respectively). The implementation lives under
+// internal/; runnable entry points are under cmd/ and examples/
+// (examples/pipeline demonstrates the async client and CAS;
+// examples/cachefront the bounded cache; examples/readthrough the backend
+// tier under faults).
 package repro

@@ -1,0 +1,261 @@
+// Package load typechecks Go packages for the analyzer suite without any
+// dependency outside the standard library. Module packages are parsed and
+// typechecked from source (so analyzers share one object world across the
+// whole repository); imports outside the module — the standard library, here
+// — resolve through compiled export data discovered with `go list -export`,
+// read by go/importer's gc importer. This is the same division of labor as
+// x/tools' go/packages driver, reimplemented in miniature because the module
+// is dependency-free by policy.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+	DepOnly    bool
+}
+
+// goList runs `go list -export -json -deps` for the patterns in dir and
+// returns the packages in dependency order (dependencies first).
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-export", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves import paths to compiled export data files.
+type exportImporter struct {
+	gc      types.Importer
+	sources map[string]*types.Package // module packages typechecked from source
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	ei := &exportImporter{sources: map[string]*types.Package{}}
+	ei.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return ei
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := ei.sources[path]; ok {
+		return pkg, nil
+	}
+	return ei.gc.Import(path)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// Packages loads the module packages matching the patterns (e.g. "./...")
+// rooted at dir, fully typechecked from source with comments retained.
+func Packages(dir string, patterns ...string) ([]*analysis.Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	imp := newExportImporter(fset, exports)
+
+	var out []*analysis.Package
+	for _, p := range listed {
+		if p.Module == nil || p.Standard {
+			continue // non-module dep: resolved via export data
+		}
+		files := make([]*ast.File, 0, len(p.GoFiles))
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+		}
+		imp.sources[p.ImportPath] = tpkg
+		out = append(out, &analysis.Package{
+			PkgPath: p.ImportPath,
+			Fset:    fset,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+		})
+	}
+	return out, nil
+}
+
+// Fixture loads test-fixture packages from srcRoot (a testdata/src-style
+// tree: import path P lives in srcRoot/P). Imports resolve first against
+// sibling fixture directories, then against the standard library via export
+// data; modDir is any directory inside a Go module, used only as the
+// working directory for `go list`. The returned slice holds the requested
+// packages and any fixture packages they transitively import, dependencies
+// first.
+func Fixture(srcRoot, modDir string, paths ...string) ([]*analysis.Package, error) {
+	fset := token.NewFileSet()
+	type parsed struct {
+		path  string
+		files []*ast.File
+	}
+	var order []*parsed
+	seen := map[string]*parsed{}
+	stdNeeds := map[string]bool{}
+
+	var visit func(path string) error
+	visit = func(path string) error {
+		if seen[path] != nil {
+			return nil
+		}
+		dir := filepath.Join(srcRoot, filepath.FromSlash(path))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("fixture package %q: %v", path, err)
+		}
+		p := &parsed{path: path}
+		seen[path] = p
+		var imports []string
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return err
+			}
+			p.files = append(p.files, f)
+			for _, spec := range f.Imports {
+				ip, _ := strconv.Unquote(spec.Path.Value)
+				imports = append(imports, ip)
+			}
+		}
+		if len(p.files) == 0 {
+			return fmt.Errorf("fixture package %q: no Go files", path)
+		}
+		for _, ip := range imports {
+			if ip == "unsafe" {
+				continue
+			}
+			if st, err := os.Stat(filepath.Join(srcRoot, filepath.FromSlash(ip))); err == nil && st.IsDir() {
+				if err := visit(ip); err != nil {
+					return err
+				}
+			} else {
+				stdNeeds[ip] = true
+			}
+		}
+		order = append(order, p) // post-order: dependencies first
+		return nil
+	}
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+
+	exports := map[string]string{}
+	if len(stdNeeds) > 0 {
+		var std []string
+		for ip := range stdNeeds {
+			std = append(std, ip)
+		}
+		sort.Strings(std)
+		listed, err := goList(modDir, std)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := newExportImporter(fset, exports)
+
+	var out []*analysis.Package
+	for _, p := range order {
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.path, fset, p.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck fixture %s: %v", p.path, err)
+		}
+		imp.sources[p.path] = tpkg
+		out = append(out, &analysis.Package{
+			PkgPath: p.path,
+			Fset:    fset,
+			Files:   p.files,
+			Types:   tpkg,
+			Info:    info,
+		})
+	}
+	return out, nil
+}

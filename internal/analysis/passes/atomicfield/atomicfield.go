@@ -1,0 +1,160 @@
+// Package atomicfield enforces two atomic-access disciplines, program-wide:
+//
+//  1. A struct field whose address is ever passed to a sync/atomic function
+//     (atomic.LoadPointer(&n.lv[i]), ...) is an atomic field everywhere: any
+//     plain read or write of it elsewhere is a data race the race detector
+//     only finds if a test happens to hit it. Fields of the atomic.Uint64
+//     wrapper family are safe by construction and not in scope.
+//
+//  2. The node version word's bits encode the locking protocol, so mutating
+//     calls on a nodeHeader's version field (Store, Swap, CompareAndSwap,
+//     Add, And, Or) are only allowed in version.go, next to the lock
+//     primitives that define the bit layout. Reads (Load) are free — that
+//     is what optimistic readers do.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicfield pass.
+var Analyzer = &analysis.Analyzer{
+	Name:        "atomicfield",
+	Doc:         "check that atomically-accessed fields are never accessed plainly, and version bits change only via version.go helpers",
+	ProgramWide: true,
+	Run:         run,
+}
+
+var mutators = map[string]bool{
+	"Store": true, "Swap": true, "CompareAndSwap": true,
+	"Add": true, "And": true, "Or": true,
+}
+
+func run(pass *analysis.Pass) {
+	// Phase 1: collect fields accessed through sync/atomic, remembering the
+	// selector nodes inside those calls (they are the sanctioned accesses).
+	atomicFields := map[*types.Var]bool{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, pkg := range pass.All {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := analysis.CalleeOf(pkg.Info, call)
+				if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				if callee.Signature().Recv() != nil {
+					// Methods of the atomic.Uint64 wrapper family: their
+					// receivers are atomic by construction, and their &x.f
+					// arguments (CompareAndSwap targets) are plain pointers.
+					return true
+				}
+				for _, arg := range call.Args {
+					sel := addressedField(arg)
+					if sel == nil {
+						continue
+					}
+					if v, ok := pkg.Info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+						atomicFields[v] = true
+						sanctioned[sel] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Phase 2: flag plain accesses of those fields anywhere in the load.
+	for _, pkg := range pass.All {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] {
+					return true
+				}
+				v, ok := pkg.Info.Uses[sel.Sel].(*types.Var)
+				if !ok || !v.IsField() || !atomicFields[v] {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "plain access of field %s, which is accessed with sync/atomic elsewhere", v.Name())
+				return true
+			})
+		}
+	}
+
+	// Phase 3: version-bit mutations outside version.go.
+	for _, pkg := range pass.All {
+		for _, file := range pkg.Files {
+			fname := filepath.Base(pass.Fset().Position(file.Pos()).Filename)
+			if fname == "version.go" {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || !mutators[sel.Sel.Name] {
+					return true
+				}
+				inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+				if !ok || inner.Sel.Name != "version" {
+					return true
+				}
+				v, ok := pkg.Info.Uses[inner.Sel].(*types.Var)
+				if !ok || !v.IsField() || !isNodeHeaderField(v) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "node version bits mutated outside version.go; use the version.go helpers")
+				return true
+			})
+		}
+	}
+}
+
+// addressedField unwraps &x.f or &x.f[i] to the field selector.
+func addressedField(arg ast.Expr) *ast.SelectorExpr {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok {
+		return nil
+	}
+	inner := ast.Unparen(u.X)
+	if ix, ok := inner.(*ast.IndexExpr); ok {
+		inner = ast.Unparen(ix.X)
+	}
+	sel, _ := inner.(*ast.SelectorExpr)
+	return sel
+}
+
+// isNodeHeaderField reports whether the field belongs to a struct type
+// named nodeHeader (the version-word rule's scope).
+func isNodeHeaderField(v *types.Var) bool {
+	if v.Pkg() == nil {
+		return false
+	}
+	scope := v.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.Name() != "nodeHeader" {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,76 @@
+// Package a is the atomicfield golden fixture: fields promoted to atomic by
+// a sync/atomic address-taking call and then accessed plainly, the wrapper
+// family that is safe by construction, and the version-word rule whose
+// mutations belong in version.go (the sibling file in this fixture).
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	hits   uint64
+	misses uint64
+}
+
+func loadHits(c *counters) uint64 { // clean: the sanctioned access
+	return atomic.LoadUint64(&c.hits)
+}
+
+func addHits(c *counters) { // clean
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func badPlainRead(c *counters) uint64 {
+	return c.hits // want `plain access of field hits, which is accessed with sync/atomic elsewhere`
+}
+
+func badPlainWrite(c *counters) {
+	c.hits = 0 // want `plain access of field hits, which is accessed with sync/atomic elsewhere`
+}
+
+func okMisses(c *counters) uint64 { // clean: misses is never accessed atomically
+	return c.misses
+}
+
+type slots struct {
+	lv [4]uint32
+}
+
+func loadSlot(s *slots, i int) uint32 { // clean: indexed sanctioned access
+	return atomic.LoadUint32(&s.lv[i])
+}
+
+func badSlot(s *slots) uint32 {
+	return s.lv[0] // want `plain access of field lv, which is accessed with sync/atomic elsewhere`
+}
+
+// The atomic.Uint64 wrapper family is atomic by construction and out of
+// scope for the plain-access rule.
+type wrapped struct {
+	n atomic.Uint64
+}
+
+func wload(w *wrapped) uint64 { // clean
+	return w.n.Load()
+}
+
+func winc(w *wrapped) { // clean: Add on a non-version field is fine anywhere
+	w.n.Add(1)
+}
+
+// --- version-word rule: mutations belong in version.go ---
+
+func badVersionStore(h *nodeHeader) {
+	h.version.Store(1) // want `node version bits mutated outside version\.go; use the version\.go helpers`
+}
+
+func badVersionCAS(h *nodeHeader) bool {
+	return h.version.CompareAndSwap(0, 1) // want `node version bits mutated outside version\.go; use the version\.go helpers`
+}
+
+func okVersionRead(h *nodeHeader) uint64 { // clean: reads are what optimistic readers do
+	return h.version.Load()
+}
+
+func allowedVersion(h *nodeHeader) { // clean: the allow covers the mutation
+	h.version.Store(2) //lint:allow atomicfield fixture exercising the suppression path
+}

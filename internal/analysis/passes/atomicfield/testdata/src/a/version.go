@@ -1,0 +1,18 @@
+package a
+
+import "sync/atomic"
+
+// nodeHeader mirrors the core node header: its version word's bits encode
+// the locking protocol, so mutating calls live here, next to the helpers
+// that define the bit layout.
+type nodeHeader struct {
+	version atomic.Uint64
+}
+
+func (h *nodeHeader) setVersion(v uint64) { // clean: version.go owns the bits
+	h.version.Store(v)
+}
+
+func (h *nodeHeader) loadVersion() uint64 {
+	return h.version.Load()
+}

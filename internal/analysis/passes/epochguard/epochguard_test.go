@@ -1,0 +1,12 @@
+package epochguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/epochguard"
+)
+
+func TestEpochguard(t *testing.T) {
+	analysistest.Run(t, epochguard.Analyzer, "a")
+}

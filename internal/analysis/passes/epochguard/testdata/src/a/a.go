@@ -1,0 +1,79 @@
+// Package a is the epochguard golden fixture: a miniature epoch/tree world
+// with the recognition conventions of internal/epoch and internal/core (pin
+// methods Enter/Exit on a type named Handle, read methods on a type named
+// Tree), exercising both diagnostics, the //masstree:pinned contract, and
+// the clean bracketing idioms.
+package a
+
+type Handle struct{}
+
+func (h *Handle) Enter() {}
+func (h *Handle) Exit()  {}
+
+type Tree struct{}
+
+func (t *Tree) Get(key []byte) ([]byte, bool) { return nil, false }
+func (t *Tree) Scan(start []byte, n int)      {}
+
+type store struct {
+	tree *Tree
+	h    *Handle
+}
+
+func (s *store) badGet(key []byte) {
+	s.tree.Get(key) // want `tree read s\.tree\.Get outside an epoch pin \(Handle\.Enter\)`
+}
+
+func (s *store) badScan() {
+	s.tree.Scan(nil, 10) // want `tree read s\.tree\.Scan outside an epoch pin \(Handle\.Enter\)`
+}
+
+func (s *store) goodGet(key []byte) { // clean: deferred Exit runs at return
+	s.h.Enter()
+	defer s.h.Exit()
+	s.tree.Get(key)
+}
+
+func (s *store) exitThenRead(key []byte) {
+	s.h.Enter()
+	s.tree.Get(key) // clean: inside the pin
+	s.h.Exit()
+	s.tree.Get(key) // want `tree read s\.tree\.Get outside an epoch pin \(Handle\.Enter\)`
+}
+
+// maybe pins on only one branch; the merged state may be unpinned.
+func (s *store) maybe(key []byte, pin bool) {
+	if pin {
+		s.h.Enter()
+	}
+	s.tree.Get(key) // want `tree read s\.tree\.Get outside an epoch pin \(Handle\.Enter\)`
+}
+
+// pinnedRead's caller holds the pin; reads inside are bracketed by contract.
+//
+//masstree:pinned
+func (s *store) pinnedRead(key []byte) { // clean: entry state is pinned
+	s.tree.Get(key)
+}
+
+func (s *store) badCall(key []byte) {
+	s.pinnedRead(key) // want `call to pinnedRead \(masstree:pinned\) without an epoch pin`
+}
+
+func (s *store) goodCall(key []byte) { // clean: pin held across the contract call
+	s.h.Enter()
+	s.pinnedRead(key)
+	s.h.Exit()
+}
+
+// Function literals run at an unknown time and are not analyzed; reads in
+// them must live in named, annotated functions.
+func (s *store) inLit(key []byte) func() { // clean
+	return func() {
+		s.tree.Get(key)
+	}
+}
+
+func (s *store) allowed(key []byte) { // clean: the allow covers the unpinned scan
+	s.tree.Scan(key, 1) //lint:allow epochguard startup-only scan before any concurrent reclamation exists
+}

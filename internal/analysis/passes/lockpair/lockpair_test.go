@@ -1,0 +1,12 @@
+package lockpair_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/lockpair"
+)
+
+func TestLockpair(t *testing.T) {
+	analysistest.Run(t, lockpair.Analyzer, "a")
+}

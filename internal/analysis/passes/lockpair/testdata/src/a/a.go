@@ -1,0 +1,180 @@
+// Package a is the lockpair golden fixture: a miniature border-node world
+// with the same lock-discovery conventions as internal/core (a header type
+// with lock/unlock/tryLock methods, node structs holding it in a field named
+// h), exercising every diagnostic plus the clean idioms around each.
+package a
+
+import "errors"
+
+var errFailed = errors.New("failed")
+
+type nodeHeader struct {
+	word uint32
+}
+
+func (h *nodeHeader) lock()         {}
+func (h *nodeHeader) unlock()       {}
+func (h *nodeHeader) tryLock() bool { return h.word == 0 }
+
+type node struct {
+	h    nodeHeader
+	next *node
+	val  int
+}
+
+// --- lock / unlock pairing ---
+
+func balanced(n *node) { // clean: one lock, one unlock
+	n.h.lock()
+	n.val++
+	n.h.unlock()
+}
+
+func double(n *node) {
+	n.h.lock()
+	n.h.lock() // want `double lock of n\.h`
+	n.h.unlock()
+}
+
+func unheld(n *node) {
+	n.h.unlock() // want `unlock of n\.h, which is not held`
+}
+
+func deferred(n *node) { // clean: deferred unlock credited at every exit
+	n.h.lock()
+	defer n.h.unlock()
+	n.val++
+}
+
+// errPath drops its lock on the error return: the seeded missed-unlock bug.
+func errPath(n *node, fail bool) error {
+	n.h.lock()
+	if fail {
+		return errFailed // want `lock n\.h is not released on this return path`
+	}
+	n.h.unlock()
+	return nil
+}
+
+// --- hand-over-hand transfer ---
+
+func walk(n *node) { // clean: next.h renames to n.h through n = next
+	n.h.lock()
+	for n.next != nil {
+		next := n.next
+		next.h.lock()
+		n.h.unlock()
+		n = next
+	}
+	n.h.unlock()
+}
+
+func tryWalk(n *node) { // clean: tryLock acquires only on its true edge
+	if n.h.tryLock() {
+		n.h.unlock()
+	}
+}
+
+// --- masstree:locked / masstree:unlocks contracts ---
+
+// withLock mutates a node its caller locked.
+//
+//masstree:locked n
+func withLock(n *node) {
+	n.val++
+}
+
+// release consumes the caller's lock.
+//
+//masstree:unlocks n
+func release(n *node) {
+	n.h.unlock()
+}
+
+func useContracts(n *node) { // clean: contracts satisfied
+	n.h.lock()
+	withLock(n)
+	release(n)
+}
+
+func badContracts(n *node) {
+	withLock(n) // want `call to withLock requires n\.h held \(masstree:locked\)`
+	release(n)  // want `call to release releases n\.h, which is not held`
+}
+
+// dropsContract violates its own contract: the lock must survive the call.
+//
+//masstree:locked n
+func dropsContract(n *node) {
+	n.h.unlock()
+} // want `n\.h must be held at return \(masstree:locked\)`
+
+// badName names a contract param that does not exist.
+//
+//masstree:locked q
+func badName(n *node) { // want `masstree: contract names "q", which is not a lockable parameter`
+	_ = n
+}
+
+// --- masstree:returns-locked ---
+
+// newLocked returns a freshly locked node.
+//
+//masstree:returns-locked
+func newLocked() *node {
+	n := alloc()
+	n.h.lock()
+	return n
+}
+
+func useLocked() { // clean: nil-check resolves the conditional lock
+	n := newLocked()
+	if n != nil {
+		n.h.unlock()
+	}
+}
+
+func leak() {
+	newLocked() // want `result of newLocked \(masstree:returns-locked\) discarded; the returned lock leaks`
+}
+
+// --- statement-level masstree:acquires / masstree:releases ---
+
+func alloc() *node { return &node{} }
+
+func constructorLocked() { // clean: the directive models the constructor's lock bit
+	n := alloc() //masstree:acquires n.h
+	n.h.unlock()
+}
+
+func stash(n *node) {}
+
+var parked *node
+
+func park(n *node) { // clean: the directive models a transfer the analyzer cannot see
+	n.h.lock()
+	stash(n) //masstree:releases n.h
+}
+
+// --- suppression ---
+
+func suppressed(n *node) { // clean: the allow covers the unbalanced unlock
+	n.h.unlock() //lint:allow lockpair fixture exercising the suppression path
+}
+
+// --- state explosion backstop ---
+
+func use(ns ...*node) {}
+
+func explode() { // want `lock state explosion; function not analyzed`
+	v1 := newLocked()
+	v2 := newLocked()
+	v3 := newLocked()
+	v4 := newLocked()
+	v5 := newLocked()
+	v6 := newLocked()
+	v7 := newLocked()
+	v8 := newLocked()
+	v9 := newLocked()
+	use(v1, v2, v3, v4, v5, v6, v7, v8, v9)
+}

@@ -1,0 +1,285 @@
+// Package noalloc flags heap-allocation sources inside functions annotated
+// //masstree:noalloc — the statically checkable face of the repository's
+// AllocsPerRun pins. Where the benchmark pins say "a number regressed", this
+// pass says "this line allocates".
+//
+// Flagged sources: make and new; composite literals that escape (&T{...},
+// slice and map literals); string<->[]byte and []rune conversions (except
+// the compiler-optimized map-index and comparison forms); string
+// concatenation; closures that capture variables; interface conversions
+// that box non-pointer-shaped values (in call arguments, assignments, and
+// returns); method values; go statements; and any call into fmt, log, or
+// errors.
+//
+// The check is intra-procedural by design: annotate the callees on the hot
+// path too, and the suite holds the whole chain. Escapes the analysis gets
+// wrong are suppressed with //lint:allow noalloc <reason>.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the noalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "flag allocation sources in //masstree:noalloc functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.FuncFactsOf(fd).NoAlloc {
+				continue
+			}
+			check(pass, fd)
+		}
+	}
+}
+
+func check(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, info, parents, n)
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, info, parents, n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info.Types[n.X].Type) {
+				pass.Reportf(n.OpPos, "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && isString(info.Types[n.Lhs[0]].Type) {
+				pass.Reportf(n.TokPos, "string concatenation allocates")
+			}
+			for i, lhs := range n.Lhs {
+				if i < len(n.Rhs) && len(n.Lhs) == len(n.Rhs) {
+					checkBoxing(pass, info, info.Types[lhs].Type, n.Rhs[i])
+				}
+			}
+		case *ast.ReturnStmt:
+			sig, ok := info.Defs[fd.Name].Type().(*types.Signature)
+			if ok && sig.Results().Len() == len(n.Results) {
+				for i, res := range n.Results {
+					checkBoxing(pass, info, sig.Results().At(i).Type(), res)
+				}
+			}
+		case *ast.FuncLit:
+			if captured := captures(info, fd, n); captured != "" {
+				pass.Reportf(n.Pos(), "closure captures %s and allocates", captured)
+			}
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement allocates")
+		case *ast.SelectorExpr:
+			if s, ok := info.Selections[n]; ok && s.Kind() == types.MethodVal {
+				if call, ok := parents[n].(*ast.CallExpr); !ok || call.Fun != n {
+					pass.Reportf(n.Pos(), "method value allocates")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, info *types.Info, parents map[ast.Node]ast.Node, call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates")
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates")
+			}
+			return
+		}
+	}
+
+	// Conversions.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		checkConversion(pass, info, parents, call, tv.Type)
+		return
+	}
+
+	// Callee package blocklist.
+	if callee := analysis.CalleeOf(info, call); callee != nil && callee.Pkg() != nil {
+		switch callee.Pkg().Path() {
+		case "fmt", "log", "errors":
+			pass.Reportf(call.Pos(), "%s.%s allocates", callee.Pkg().Name(), callee.Name())
+			return
+		}
+	}
+
+	// Interface boxing of arguments.
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1 && call.Ellipsis == token.NoPos:
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		checkBoxing(pass, info, param, arg)
+	}
+}
+
+// checkConversion flags string<->[]byte/[]rune conversions, excluding the
+// forms the compiler performs without allocating: a []byte->string used
+// directly as a map index or in a ==/!= comparison.
+func checkConversion(pass *analysis.Pass, info *types.Info, parents map[ast.Node]ast.Node, call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src := info.Types[call.Args[0]].Type
+	toString := isString(target) && isByteOrRuneSlice(src)
+	fromString := isByteOrRuneSlice(target) && isString(src)
+	if !toString && !fromString {
+		return
+	}
+	if toString {
+		switch p := parentExpr(parents, call).(type) {
+		case *ast.IndexExpr:
+			if p.Index == call {
+				if _, ok := info.Types[p.X].Type.Underlying().(*types.Map); ok {
+					return // m[string(b)]: no allocation
+				}
+			}
+		case *ast.BinaryExpr:
+			if p.Op == token.EQL || p.Op == token.NEQ {
+				return // string(b) == s: no allocation
+			}
+		}
+	}
+	pass.Reportf(call.Pos(), "%s conversion allocates", target.String())
+}
+
+func parentExpr(parents map[ast.Node]ast.Node, n ast.Node) ast.Node {
+	p := parents[n]
+	for {
+		if _, ok := p.(*ast.ParenExpr); !ok {
+			return p
+		}
+		p = parents[p]
+	}
+}
+
+func checkCompositeLit(pass *analysis.Pass, info *types.Info, parents map[ast.Node]ast.Node, lit *ast.CompositeLit) {
+	typ := info.Types[lit].Type
+	if typ == nil {
+		return
+	}
+	switch typ.Underlying().(type) {
+	case *types.Slice:
+		pass.Reportf(lit.Pos(), "slice literal allocates")
+		return
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "map literal allocates")
+		return
+	}
+	if u, ok := parents[lit].(*ast.UnaryExpr); ok && u.Op == token.AND {
+		pass.Reportf(u.Pos(), "escaping composite literal allocates")
+	}
+}
+
+// checkBoxing flags a concrete, non-pointer-shaped value converted to an
+// interface; pointer-shaped values fit the interface word and nil converts
+// for free.
+func checkBoxing(pass *analysis.Pass, info *types.Info, dst types.Type, src ast.Expr) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := info.Types[src]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return
+	}
+	if types.IsInterface(tv.Type) || pointerShaped(tv.Type) {
+		return
+	}
+	pass.Reportf(src.Pos(), "interface conversion boxes %s and allocates", tv.Type.String())
+}
+
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// captures names a variable of the enclosing function that the literal
+// closes over, or "" when the literal is capture-free (and so static).
+func captures(info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Pkg() == nil {
+			return true
+		}
+		// Captured iff declared inside the enclosing function but outside
+		// this literal.
+		if v.Pos() >= fd.Pos() && v.Pos() < fd.End() && (v.Pos() < lit.Pos() || v.Pos() >= lit.End()) {
+			name = v.Name()
+			return false
+		}
+		return true
+	})
+	return name
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

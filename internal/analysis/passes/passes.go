@@ -1,0 +1,22 @@
+// Package passes registers the masstree-lint analyzer suite.
+package passes
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes/atomicfield"
+	"repro/internal/analysis/passes/epochguard"
+	"repro/internal/analysis/passes/lockpair"
+	"repro/internal/analysis/passes/noalloc"
+	"repro/internal/analysis/passes/scratchalias"
+)
+
+// All returns every analyzer in the suite, in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		lockpair.Analyzer,
+		epochguard.Analyzer,
+		noalloc.Analyzer,
+		scratchalias.Analyzer,
+		atomicfield.Analyzer,
+	}
+}

@@ -1,0 +1,409 @@
+// Package scratchalias flags byte slices that alias a reusable scratch
+// buffer — a type annotated //masstree:scratch, like wire.DecodeBuf,
+// wire.RespDecodeBuf, or the server's connScratch — being stored somewhere
+// that outlives the buffer's next reuse. Decoded requests, responses, and
+// their Key/Data fields alias the connection's arenas and are valid only
+// until the next decode; stashing one in a struct field, global, map, or
+// channel is the use-after-reuse bug class PR 7's deep clones guard against.
+//
+// The analysis is an intra-procedural taint pass. Sources: calls that take
+// or run on a scratch-typed value, and field reads of one. Taint propagates
+// through assignment, indexing, slicing, field access, composite literals,
+// and non-spread append. Sanitizers — the documented copy idioms — clear
+// it: append(dst, src...) over bytes, bytes.Clone, string conversion, and
+// copy. Sinks: assignments into struct fields (except the scratch's own),
+// globals, field-rooted map or slice elements, and channel sends.
+package scratchalias
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the scratchalias pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "scratchalias",
+	Doc:  "flag values aliasing //masstree:scratch buffers stored past the buffer's reuse",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	scratch := scratchTypes(pass.All)
+	if len(scratch) == 0 {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, scratch, fd)
+			}
+		}
+	}
+}
+
+// scratchTypes collects every //masstree:scratch-annotated named type in
+// the load.
+func scratchTypes(pkgs []*analysis.Package) map[*types.TypeName]bool {
+	set := map[*types.TypeName]bool{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !analysis.IsScratchType(gd, ts) {
+						continue
+					}
+					if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+						set[tn] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	info     *types.Info
+	scratch  map[*types.TypeName]bool
+	tainted  map[*types.Var]bool
+	ptrParam map[*types.Var]bool
+}
+
+func checkFunc(pass *analysis.Pass, scratch map[*types.TypeName]bool, fd *ast.FuncDecl) {
+	c := &checker{pass: pass, info: pass.Pkg.Info, scratch: scratch,
+		tainted: map[*types.Var]bool{}, ptrParam: map[*types.Var]bool{}}
+
+	// Pointer-typed parameters (including the receiver): a store through one
+	// lands in caller-owned memory, so lifetime responsibility sits at the
+	// call site, not here. The caller's own stores are still checked.
+	collectPtrParams := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if v, ok := c.info.Defs[name].(*types.Var); ok {
+					if _, ptr := v.Type().Underlying().(*types.Pointer); ptr {
+						c.ptrParam[v] = true
+					}
+				}
+			}
+		}
+	}
+	collectPtrParams(fd.Recv)
+	collectPtrParams(fd.Type.Params)
+
+	// Fixpoint over assignments: a variable assigned a tainted value is
+	// tainted (flow-insensitive; later clean reassignments do not untaint,
+	// which errs on the side of reporting).
+	for {
+		changed := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			a, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range a.Lhs {
+				id := rootIdent(lhs) // p.Key = ... taints the local p
+				if id == nil || id.Name == "_" {
+					continue
+				}
+				v := c.localVar(id)
+				if v == nil || c.tainted[v] {
+					continue
+				}
+				var rhs ast.Expr
+				if len(a.Lhs) == len(a.Rhs) {
+					rhs = a.Rhs[i]
+				} else if len(a.Rhs) == 1 {
+					rhs = a.Rhs[0] // multi-value call: taint flows to all
+				}
+				if rhs != nil && c.taintedExpr(rhs) {
+					c.tainted[v] = true
+					changed = true
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+
+	// Sinks.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Lhs) == len(n.Rhs) {
+					rhs = n.Rhs[i]
+				}
+				if rhs == nil || !c.canAlias(rhs) || !c.taintedExpr(rhs) {
+					continue
+				}
+				if c.scratchValued(rhs) {
+					continue // the scratch object itself (pool/free-list management)
+				}
+				if sink, what := c.sinkLHS(lhs); sink {
+					c.pass.Reportf(rhs.Pos(), "stores a slice aliasing a scratch buffer into %s; copy it first (append(dst, v...) or bytes.Clone)", what)
+				}
+			}
+		case *ast.SendStmt:
+			if c.canAlias(n.Value) && !c.scratchValued(n.Value) && c.taintedExpr(n.Value) {
+				c.pass.Reportf(n.Value.Pos(), "sends a slice aliasing a scratch buffer on a channel; copy it first (append(dst, v...) or bytes.Clone)")
+			}
+		}
+		return true
+	})
+}
+
+// localVar resolves an identifier to a function-local variable.
+func (c *checker) localVar(id *ast.Ident) *types.Var {
+	if v, ok := c.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := c.info.Uses[id].(*types.Var); ok && !v.IsField() && v.Pkg() != nil && v.Parent() != v.Pkg().Scope() {
+		return v
+	}
+	return nil
+}
+
+// sinkLHS reports whether assigning to lhs stores the value beyond the
+// current call frame: struct fields (other than the scratch's own),
+// globals, and elements of field-rooted slices or maps.
+func (c *checker) sinkLHS(lhs ast.Expr) (bool, string) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := c.info.Uses[l.Sel].(*types.Var); ok && v.IsField() {
+			if c.scratchExpr(l.X) {
+				return false, "" // the scratch's own arena fields
+			}
+			if id, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+				if pv, ok := c.info.Uses[id].(*types.Var); ok && c.ptrParam[pv] {
+					return false, "" // store through a pointer parameter: caller-owned
+				}
+				if v := c.localVar(id); v != nil {
+					if _, ptr := v.Type().Underlying().(*types.Pointer); !ptr {
+						return false, "" // field of a frame-local struct: taints the local instead
+					}
+				}
+			}
+			return true, "field " + l.Sel.Name
+		}
+		if v, ok := c.info.Uses[l.Sel].(*types.Var); ok && v.Parent() == v.Pkg().Scope() {
+			return true, "package variable " + l.Sel.Name
+		}
+	case *ast.IndexExpr:
+		if sink, what := c.sinkLHS(l.X); sink {
+			return true, "element of " + what
+		}
+		if _, ok := c.info.Types[l.X].Type.Underlying().(*types.Map); ok {
+			return true, "map"
+		}
+	case *ast.Ident:
+		if v, ok := c.info.Uses[l].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true, "package variable " + v.Name()
+		}
+	case *ast.StarExpr:
+		return c.sinkLHS(l.X)
+	}
+	return false, ""
+}
+
+// taintedExpr reports whether the expression's value may alias a scratch
+// buffer.
+func (c *checker) taintedExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := c.info.Uses[e].(*types.Var); ok {
+			return c.tainted[v]
+		}
+	case *ast.IndexExpr:
+		return c.taintedExpr(e.X)
+	case *ast.SliceExpr:
+		return c.taintedExpr(e.X)
+	case *ast.StarExpr:
+		return c.taintedExpr(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return c.taintedExpr(e.X)
+		}
+	case *ast.SelectorExpr:
+		// A field of a scratch value aliases its arenas; a field of a
+		// tainted value (req.Key) carries the taint.
+		if c.scratchExpr(e.X) {
+			return true
+		}
+		return c.taintedExpr(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if c.taintedExpr(el) {
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		return c.taintedCall(e)
+	}
+	return false
+}
+
+func (c *checker) taintedCall(call *ast.CallExpr) bool {
+	// Builtins and sanitizers.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, builtin := c.info.Uses[id].(*types.Builtin); builtin {
+			if id.Name == "append" {
+				if call.Ellipsis != token.NoPos {
+					return false // append(dst, src...): copies the bytes
+				}
+				for _, arg := range call.Args {
+					if c.taintedExpr(arg) {
+						return true // append(dst, slice): stores the alias
+					}
+				}
+			}
+			return false
+		}
+	}
+	if tv, ok := c.info.Types[call.Fun]; ok && tv.IsType() {
+		if isString(tv.Type) {
+			return false // string(b): copies
+		}
+		return len(call.Args) == 1 && c.taintedExpr(call.Args[0])
+	}
+	if callee := analysis.CalleeOf(c.info, call); callee != nil {
+		if callee.Pkg() != nil && callee.Pkg().Path() == "bytes" && callee.Name() == "Clone" {
+			return false
+		}
+		// Methods on a scratch value and calls handed one return aliases.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && c.scratchExpr(sel.X) {
+			return true
+		}
+	}
+	for _, arg := range call.Args {
+		if c.scratchExpr(arg) {
+			return true
+		}
+	}
+	return false
+}
+
+// rootIdent walks field/index/star/paren chains to the base identifier, so
+// an assignment like p.Key = v or p[i].Key = v resolves to p.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// scratchValued reports whether e's value is a scratch object itself (or a
+// pointer or slice of them) rather than an alias into its arenas. Storing
+// the object — a free list, a pool — is lifecycle management, not a leak.
+func (c *checker) scratchValued(e ast.Expr) bool {
+	tv, ok := c.info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Slice:
+			t = u.Elem()
+			continue
+		}
+		break
+	}
+	n, ok := t.(*types.Named)
+	return ok && c.scratch[n.Obj()]
+}
+
+// scratchExpr reports whether the expression's type is (or points to) a
+// scratch-annotated type.
+func (c *checker) scratchExpr(e ast.Expr) bool {
+	tv, ok := c.info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return c.scratchType(tv.Type)
+}
+
+func (c *checker) scratchType(t types.Type) bool {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return c.scratch[n.Obj()]
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// canAlias reports whether a value of e's type can hold a reference into a
+// scratch buffer. Scalars extracted from a tainted slice (b[0], a decoded
+// length) and strings (conversion copies; no safe way to alias bytes) carry
+// no alias, nor do error values by convention (wrapping copies or formats).
+func (c *checker) canAlias(e ast.Expr) bool {
+	tv, ok := c.info.Types[e]
+	if !ok || tv.Type == nil {
+		return true // unknown: stay conservative and report
+	}
+	return typeCanAlias(tv.Type, 0)
+}
+
+func typeCanAlias(t types.Type, depth int) bool {
+	if depth > 8 {
+		return true
+	}
+	if types.Identical(t, types.Universe.Lookup("error").Type()) {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return false
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeCanAlias(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return typeCanAlias(u.Elem(), depth+1)
+	}
+	return true
+}

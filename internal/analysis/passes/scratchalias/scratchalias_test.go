@@ -1,0 +1,12 @@
+package scratchalias_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/scratchalias"
+)
+
+func TestScratchalias(t *testing.T) {
+	analysistest.Run(t, scratchalias.Analyzer, "a")
+}

@@ -1,0 +1,100 @@
+// Package a is the scratchalias golden fixture: a miniature decode-buffer
+// world in the shape of wire.DecodeBuf, exercising the taint sources, every
+// sink variant, the sanctioner copy idioms, and the ownership exemptions
+// (pointer out-params, frame-local structs, scratch-object lifecycle).
+package a
+
+import "bytes"
+
+// DecodeBuf hands out slices into its reusable arena; they are valid only
+// until the next decode.
+//
+//masstree:scratch
+type DecodeBuf struct {
+	arena []byte
+}
+
+func (d *DecodeBuf) Bytes() []byte { return d.arena }
+
+type holder struct {
+	b     []byte
+	items [][]byte
+}
+
+var (
+	global    []byte
+	globalStr string
+	firstByte byte
+	freeList  []*DecodeBuf
+)
+
+// --- sinks ---
+
+func storeGlobal(d *DecodeBuf) {
+	b := d.Bytes()
+	global = b // want `stores a slice aliasing a scratch buffer into package variable global`
+}
+
+func storeField(d *DecodeBuf) {
+	h := &holder{}
+	h.b = d.Bytes() // want `stores a slice aliasing a scratch buffer into field b`
+}
+
+func storeElem(d *DecodeBuf) {
+	h := &holder{items: make([][]byte, 1)}
+	h.items[0] = d.Bytes() // want `stores a slice aliasing a scratch buffer into element of field items`
+}
+
+func storeMap(d *DecodeBuf, m map[string][]byte) {
+	m["k"] = d.Bytes() // want `stores a slice aliasing a scratch buffer into map`
+}
+
+func send(d *DecodeBuf, ch chan []byte) {
+	ch <- d.Bytes() // want `sends a slice aliasing a scratch buffer on a channel`
+}
+
+// Taint survives slicing, so a sub-slice of an alias is still an alias.
+func viaSlice(d *DecodeBuf) {
+	b := d.Bytes()
+	global = b[1:3] // want `stores a slice aliasing a scratch buffer into package variable global`
+}
+
+// --- sanitizers: the documented copy idioms ---
+
+func copies(d *DecodeBuf) {
+	b := d.Bytes()
+	global = append([]byte(nil), b...) // clean: append(dst, src...) copies
+	global = bytes.Clone(b)            // clean
+	globalStr = string(b)              // clean: conversion copies
+	firstByte = b[0]                   // clean: a scalar carries no alias
+}
+
+// --- ownership exemptions ---
+
+func intoOut(d *DecodeBuf, out *holder) { // clean: caller-owned storage
+	out.b = d.Bytes()
+}
+
+func frameLocal(d *DecodeBuf) int { // clean: taints the local, frame-bounded
+	var p holder
+	p.b = d.Bytes()
+	return len(p.b)
+}
+
+// Storing the scratch object itself — a free list, a pool — is lifecycle
+// management, not a leaked alias.
+func recycle(d *DecodeBuf) { // clean
+	d.arena = d.arena[:0]
+	freeList = append(freeList, d)
+}
+
+func handOff(d *DecodeBuf, pool chan *DecodeBuf) { // clean
+	d.arena = d.arena[:0]
+	pool <- d
+}
+
+// --- suppression ---
+
+func allowed(d *DecodeBuf) { // clean: the allow covers the store
+	global = d.Bytes() //lint:allow scratchalias fixture exercising the suppression path
+}

@@ -133,7 +133,7 @@ func (t *Tree) Get(key []byte) (*value.Value, bool) {
 // Put stores v for key, reporting whether it replaced a live value.
 func (t *Tree) Put(key []byte, v *value.Value) bool {
 	for {
-		addr := &t.root
+		addr := &t.root //lint:allow atomicfield address escapes into addr, which is only ever dereferenced via sync/atomic below
 		n := (*node)(atomic.LoadPointer(addr))
 		for n != nil {
 			c := t.compare(key, n)
@@ -146,9 +146,9 @@ func (t *Tree) Put(key []byte, v *value.Value) bool {
 				return true
 			}
 			if c < 0 {
-				addr = &n.left
+				addr = &n.left //lint:allow atomicfield address escapes into addr, which is only ever dereferenced via sync/atomic
 			} else {
-				addr = &n.right
+				addr = &n.right //lint:allow atomicfield address escapes into addr, which is only ever dereferenced via sync/atomic
 			}
 			n = (*node)(atomic.LoadPointer(addr))
 		}
@@ -157,7 +157,7 @@ func (t *Tree) Put(key []byte, v *value.Value) bool {
 		if t.intCmp {
 			nn.ikey = encodeIkey(nn.key)
 		}
-		nn.val = unsafe.Pointer(v)
+		nn.val = unsafe.Pointer(v) //lint:allow atomicfield nn is private until the CAS below publishes it
 		if atomic.CompareAndSwapPointer(addr, nil, unsafe.Pointer(nn)) {
 			t.count.Add(1)
 			return false

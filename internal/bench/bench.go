@@ -1,8 +1,8 @@
 // Package bench regenerates every table and figure of the paper's
 // evaluation (§6 tree evaluation, §7 system comparison, §5 checkpointing) at
 // configurable scale. Each experiment returns a Table whose rows mirror the
-// paper's bars, series, or table cells; EXPERIMENTS.md records a full run
-// with paper-vs-measured commentary.
+// paper's bars, series, or table cells; committed result snapshots live in
+// the BENCH_*.json files at the repository root (index in DESIGN.md).
 //
 // Absolute numbers differ from the paper's 16-core 2009-era testbed; the
 // experiments are designed so the *shape* — who wins, by roughly what

@@ -89,6 +89,8 @@ const maxRetainedScratch = 1 << 20
 // responses (and every slice they reference) are valid only until the next
 // DoReuse/Recv call on this client. In steady state a DoReuse round trip
 // performs no client-side allocations.
+//
+//masstree:noalloc
 func (c *Client) DoReuse(reqs []wire.Request) ([]wire.Response, error) {
 	if cap(c.enc) > maxRetainedScratch {
 		c.enc = nil
@@ -102,7 +104,7 @@ func (c *Client) DoReuse(reqs []wire.Request) ([]wire.Response, error) {
 		return nil, err
 	}
 	if len(resps) != len(reqs) {
-		return nil, fmt.Errorf("client: %d responses for %d requests", len(resps), len(reqs))
+		return nil, fmt.Errorf("client: %d responses for %d requests", len(resps), len(reqs)) //lint:allow noalloc protocol-violation error path; a correct server never triggers it
 	}
 	return resps, nil
 }

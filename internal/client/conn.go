@@ -73,6 +73,8 @@ type Conn struct {
 // Pending is one in-flight batch issued by Conn.Go. Exactly one Wait call
 // must follow each Go; Release recycles the Pending (and the buffers its
 // responses alias) for later Go calls.
+//
+//masstree:scratch
 type Pending struct {
 	c     *Conn
 	tag   uint32

@@ -70,6 +70,8 @@ func (t *Tree) GetBatch(keys [][]byte) (vals []*value.Value, found []bool) {
 // GetBatchInto is GetBatch writing into caller-provided slices (which must
 // have len(keys) elements) and ordering scratch. In steady state — scratch
 // warmed to the largest batch size — it performs no allocations.
+//
+//masstree:noalloc
 func (t *Tree) GetBatchInto(keys [][]byte, vals []*value.Value, found []bool, sc *BatchScratch) {
 	if len(keys) == 0 {
 		return

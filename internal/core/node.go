@@ -84,7 +84,7 @@ func newBorder(rootTree, locked bool) *borderNode {
 	if locked {
 		v |= lockBit
 	}
-	n.h.version.Store(v)
+	n.h.initVersion(v)
 	n.permutation.Store(uint64(emptyPermutation()))
 	return n
 }
@@ -92,7 +92,7 @@ func newBorder(rootTree, locked bool) *borderNode {
 // newInterior allocates an interior node with the given extra version bits.
 func newInterior(bits uint64) *interiorNode {
 	n := &interiorNode{}
-	n.h.version.Store(bits)
+	n.h.initVersion(bits)
 	return n
 }
 
@@ -173,6 +173,8 @@ func (in *interiorNode) childFor(slice uint64) *nodeHeader {
 // if the parent changes underneath us (an interior split can move n to a new
 // parent without n's lock). Returns nil if n is a root. The caller must hold
 // n's lock, which pins a nil parent (only n's own split can give it one).
+//
+//masstree:returns-locked
 func (h *nodeHeader) lockParent() *interiorNode {
 	for {
 		p := h.parent.Load()

@@ -47,6 +47,8 @@ func (t *Tree) Apply(key []byte, f func(old *value.Value) *value.Value) (old, st
 // underneath us and the caller must restart from the tree root. This is the
 // one copy of the writer-side locking protocol, shared by put, putRun, and
 // remove.
+//
+//masstree:returns-locked
 func (t *Tree) lockBorder(root *nodeHeader, slice uint64) *borderNode {
 	n, _ := t.findBorder(root, slice)
 	n.h.lock()
@@ -149,6 +151,8 @@ restart:
 // and publishes it with a single permutation store. Inserting into a slot
 // that previously held a (since removed) key dirties the version so readers
 // that located the old key there retry (§4.6.5).
+//
+//masstree:locked n
 func (t *Tree) insertSlot(n *borderNode, perm permutation, rank int, slice uint64, k []byte, v *value.Value) {
 	newPerm, slot := perm.insert(rank)
 	if n.usedMask&(1<<uint(slot)) != 0 {
@@ -175,6 +179,8 @@ func (t *Tree) insertSlot(n *borderNode, perm permutation, rank int, slice uint6
 // remainder (§4.6.3). The slot transitions value→UNSTABLE→LAYER so readers
 // never confuse a value with a layer pointer. Since only one key is
 // affected, neither the version nor the permutation changes.
+//
+//masstree:locked n
 func (t *Tree) makeLayer(n *borderNode, slot int, suf []byte) *nodeHeader {
 	oldv := n.loadLV(slot)
 	n2 := newBorder(true, false)

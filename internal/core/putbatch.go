@@ -119,6 +119,8 @@ restart:
 // layer descent, a suffix push-down, nor a split. Anything else ends the
 // run; the key is handled by its own fresh descent, which keeps this loop
 // free of nested locking (no deadlock: at most one node lock is ever held).
+//
+//masstree:unlocks n
 func (t *Tree) extendRun(n *borderNode, keys [][]byte, idx []int, pos int, depth int, prev []byte, apply func(int, *value.Value) *value.Value) int {
 	prefix := prev[:8*depth]
 	for pos < len(idx) {

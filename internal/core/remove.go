@@ -110,6 +110,8 @@ restart:
 // kept (it anchors lowkey = -inf); if it is the root of an empty layer-h
 // tree (h >= 1), a collapse task is scheduled instead (§4.6.5: full trees
 // are not cleaned up right away because that requires locking two layers).
+//
+//masstree:unlocks n
 func (t *Tree) emptyBorder(n *borderNode, key []byte, depth int) {
 	if n.lowOrd < 0 {
 		if depth > 0 && isRoot(n.h.version.Load()) && n.next.Load() == nil {
@@ -126,6 +128,8 @@ func (t *Tree) emptyBorder(n *borderNode, key []byte, depth int) {
 // recursively. Locks are taken left-to-right and then up the tree; when that
 // order cannot be honored directly we release and revalidate, because a
 // concurrent insert may revive the node while it is unlocked.
+//
+//masstree:unlocks n
 func (t *Tree) removeBorder(n *borderNode) {
 	var p *borderNode
 	for {
@@ -176,6 +180,8 @@ func (t *Tree) removeBorder(n *borderNode) {
 // removeChild removes the given child from the locked interior node p,
 // shifting keys and children down. If p loses its last child it is deleted
 // and removed from its own parent, recursively. p is unlocked on return.
+//
+//masstree:unlocks p
 func (t *Tree) removeChild(p *interiorNode, child *nodeHeader) {
 	nk := int(p.nkeys.Load())
 	idx := -1

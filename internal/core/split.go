@@ -20,6 +20,8 @@ type borderEntry struct {
 // splitInsert splits the full, locked border node n while inserting the new
 // key at the given rank (paper Figure 5 plus §4.3's sequential-insert
 // optimization). It releases all locks before returning.
+//
+//masstree:unlocks n
 func (t *Tree) splitInsert(n *borderNode, rank int, slice uint64, k []byte, v *value.Value) {
 	perm := n.perm()
 	cnt := perm.count()
@@ -70,7 +72,7 @@ func (t *Tree) splitInsert(n *borderNode, rank int, slice uint64, k []byte, v *v
 	left, right := ents[:splitAt], ents[splitAt:total]
 
 	n.h.markSplitting()
-	n2 := newBorder(false, true)
+	n2 := newBorder(false, true) //masstree:acquires n2.h
 	n2.h.markSplitting()
 	n2.lowSlice = right[0].slice
 	n2.lowOrd = ordOf(right[0].kl)
@@ -173,6 +175,8 @@ func sliceBoundary(ents []borderEntry, want int) int {
 // and n2 are locked with their splitting bits set; all locks are released by
 // the time ascend returns. Locks are acquired up the tree, which prevents
 // deadlock (§4.5).
+//
+//masstree:unlocks n n2
 func (t *Tree) ascend(n, n2 *nodeHeader, sep uint64) {
 	for {
 		p := n.lockParent()
@@ -216,7 +220,7 @@ func (t *Tree) ascend(n, n2 *nodeHeader, sep uint64) {
 		// Parent full: split it and keep ascending.
 		p.h.markSplitting()
 		n.unlock()
-		p2 := newInterior(lockBit | splittingBit)
+		p2 := newInterior(lockBit | splittingBit) //masstree:acquires p2.h
 		sep2 := t.splitInterior(p, p2, sep, n2)
 		n2.unlock()
 		n, n2, sep = &p.h, &p2.h, sep2
@@ -228,6 +232,8 @@ func (t *Tree) ascend(n, n2 *nodeHeader, sep uint64) {
 // separator sep with right child c. The median key is promoted (returned),
 // the upper keys and children move to p2, and moved children's parent
 // pointers are reassigned under p's and p2's locks (§4.5).
+//
+//masstree:locked p p2
 func (t *Tree) splitInterior(p, p2 *interiorNode, sep uint64, c *nodeHeader) uint64 {
 	nk := int(p.nkeys.Load()) // == width
 	pos := 0

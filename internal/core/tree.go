@@ -83,6 +83,8 @@ func (t *Tree) resolveLayer(n *borderNode, slot int, lv unsafe.Pointer) *nodeHea
 
 // Get returns the value stored for key (§3: get). It takes no locks and
 // writes no shared memory.
+//
+//masstree:noalloc
 func (t *Tree) Get(key []byte) (*value.Value, bool) {
 restart:
 	root := t.rootHeader()

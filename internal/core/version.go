@@ -104,8 +104,23 @@ func (h *nodeHeader) unlock() {
 
 // The mark* helpers set state bits; the caller must hold the node lock.
 
+//masstree:locked h
 func (h *nodeHeader) markInserting() { h.version.Store(h.version.Load() | insertingBit) }
+
+//masstree:locked h
 func (h *nodeHeader) markSplitting() { h.version.Store(h.version.Load() | splittingBit) }
-func (h *nodeHeader) markDeleted()   { h.version.Store(h.version.Load() | deletedBit) }
-func (h *nodeHeader) setRoot()       { h.version.Store(h.version.Load() | rootBit) }
-func (h *nodeHeader) clearRoot()     { h.version.Store(h.version.Load() &^ rootBit) }
+
+//masstree:locked h
+func (h *nodeHeader) markDeleted() { h.version.Store(h.version.Load() | deletedBit) }
+
+//masstree:locked h
+func (h *nodeHeader) setRoot() { h.version.Store(h.version.Load() | rootBit) }
+
+//masstree:locked h
+func (h *nodeHeader) clearRoot() { h.version.Store(h.version.Load() &^ rootBit) }
+
+// initVersion writes a freshly allocated node's initial version word. The
+// node is private to its constructor, so this is the one version write that
+// needs no lock; keeping it here preserves the invariant that version bits
+// change only in this file.
+func (h *nodeHeader) initVersion(v uint64) { h.version.Store(v) }

@@ -214,6 +214,7 @@ func Open(cfg Config) (*Store, error) {
 func (s *Store) seedCache() {
 	var total int64
 	buf := make([]byte, 0, 64)
+	//lint:allow epochguard seedCache runs during Open, before any concurrent access or reclamation exists
 	s.tree.ScanInto(nil, buf, func(k []byte, v *value.Value) bool {
 		total += int64(v.Size())
 		if v.ExpiresAt() != 0 {
@@ -512,7 +513,10 @@ const (
 // loader serves during a backend outage, so the sweeper must not reclaim it
 // until the stale window has also lapsed. (Reads still treat it as expired;
 // only physical removal is deferred. Cache-pressure eviction is not — under
-// a byte budget, memory wins over the stale reserve.)
+// a byte budget, memory wins over the stale reserve.) Runs under the
+// maintenance epoch handle (cacheMaintain pins evictH).
+//
+//masstree:pinned
 func (s *Store) sweepExpired(now int64) int {
 	if s.loader != nil && s.cfg.MaxStale > 0 {
 		now -= int64(s.cfg.MaxStale)
@@ -592,7 +596,10 @@ func expired(v *value.Value) bool {
 }
 
 // Get returns the requested columns of key's value, or (nil, false) if the
-// key is absent. cols == nil returns all columns.
+// key is absent. cols == nil returns all columns. The caller must hold an
+// epoch pin (Session.Get does).
+//
+//masstree:pinned
 func (s *Store) Get(key []byte, cols []int) ([][]byte, bool) {
 	v, ok := s.tree.Get(key)
 	if !ok || expired(v) {
@@ -604,7 +611,11 @@ func (s *Store) Get(key []byte, cols []int) ([][]byte, bool) {
 // GetInto is Get appending the requested columns to dst instead of
 // allocating a fresh slice; it returns the extended slice. With a reused
 // dst the read path performs no allocations (the column contents alias the
-// immutable value, so no byte copying happens either).
+// immutable value, so no byte copying happens either). The caller must hold
+// an epoch pin.
+//
+//masstree:pinned
+//masstree:noalloc
 func (s *Store) GetInto(key []byte, cols []int, dst [][]byte) ([][]byte, bool) {
 	v, ok := s.tree.Get(key)
 	if !ok || expired(v) {
@@ -613,7 +624,10 @@ func (s *Store) GetInto(key []byte, cols []int, dst [][]byte) ([][]byte, bool) {
 	return AppendCols(dst, v, cols), true
 }
 
-// GetValue returns the whole value object.
+// GetValue returns the whole value object. The caller must hold an epoch
+// pin.
+//
+//masstree:pinned
 func (s *Store) GetValue(key []byte) (*value.Value, bool) {
 	v, ok := s.tree.Get(key)
 	if !ok || expired(v) {
@@ -637,7 +651,10 @@ type BatchScratch struct {
 
 // GetBatch retrieves many keys at once, processing them in tree order to
 // share cache paths between descents (§4.8's PALM-style batching). Results
-// are in input order; cols == nil returns all columns.
+// are in input order; cols == nil returns all columns. The caller must hold
+// an epoch pin.
+//
+//masstree:pinned
 func (s *Store) GetBatch(keys [][]byte, cols []int) (out [][][]byte, found []bool) {
 	var sc BatchScratch
 	vals, ok := s.GetBatchInto(keys, &sc)
@@ -660,11 +677,15 @@ func extractBatchCols(vals []*value.Value, ok []bool, cols []int) [][][]byte {
 // flags are written into sc's reusable slices and remain valid until the
 // next call with the same scratch. Column extraction is left to the caller
 // (each request in a batch may want different columns); use AppendCols.
+// The caller must hold an epoch pin.
+//
+//masstree:pinned
+//masstree:noalloc
 func (s *Store) GetBatchInto(keys [][]byte, sc *BatchScratch) ([]*value.Value, []bool) {
 	n := len(keys)
 	if cap(sc.vals) < n {
-		sc.vals = make([]*value.Value, n)
-		sc.found = make([]bool, n)
+		sc.vals = make([]*value.Value, n)  //lint:allow noalloc scratch warm-up: amortized over the scratch lifetime
+		sc.found = make([]bool, n)         //lint:allow noalloc scratch warm-up: amortized over the scratch lifetime
 	}
 	sc.vals = sc.vals[:n]
 	sc.found = sc.found[:n]
@@ -1112,6 +1133,9 @@ const maxRangeScanVisits = 1 << 16
 // Lazily-expired values are skipped without counting toward n; a scan
 // crossing an extremely large expired region (see maxRangeScanVisits) may
 // return fewer than n pairs before the background sweep reclaims it.
+// The caller must hold an epoch pin.
+//
+//masstree:pinned
 func (s *Store) GetRange(start []byte, n int, cols []int) []Pair {
 	if n <= 0 {
 		return nil
@@ -1169,7 +1193,10 @@ func (sc *RangeScratch) Shrink(max int) {
 // allocating per request: keys are copied into a byte arena, columns into
 // the column arena, pairs into the pair slice. The returned window aliases
 // sc and stays valid until sc.Reset (appends never rewrite established
-// backing memory, so earlier windows survive arena growth).
+// backing memory, so earlier windows survive arena growth). The caller must
+// hold an epoch pin.
+//
+//masstree:pinned
 func (s *Store) GetRangeInto(start []byte, n int, cols []int, sc *RangeScratch) []Pair {
 	if n <= 0 {
 		return nil
@@ -1317,6 +1344,7 @@ func (s *Store) partitionBounds(parts int) [][]byte {
 	bounds := make([][]byte, 0, parts-1)
 	stride := n / parts
 	i, next := 0, stride
+	//lint:allow epochguard checkpoint scans run unpinned by design: a minutes-long pin would stall reclamation, and GC keeps detached nodes readable
 	s.tree.ScanInto(nil, make([]byte, 0, 64), func(k []byte, _ *value.Value) bool {
 		if i == next {
 			bounds = append(bounds, append([]byte(nil), k...))

@@ -128,6 +128,8 @@ func (s *Server) acceptLoop() {
 // retained across messages, so a connection in steady state allocates only
 // the packed values its puts publish and responses that outgrow every
 // previous message.
+//
+//masstree:scratch
 type connScratch struct {
 	dec     wire.DecodeBuf       // request decode buffers; requests alias the frame
 	enc     []byte               // response encode buffer

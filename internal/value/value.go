@@ -111,6 +111,7 @@ func NewAt(version uint64, cols ...[]byte) *Value {
 }
 
 // Version returns the value's update version number.
+//masstree:noalloc
 func (v *Value) Version() uint64 {
 	if v == nil {
 		return 0
@@ -120,6 +121,7 @@ func (v *Value) Version() uint64 {
 
 // Worker returns the id of the worker whose clock issued the version (0 for
 // values built outside a worker context).
+//masstree:noalloc
 func (v *Value) Worker() uint32 {
 	if v == nil {
 		return 0
@@ -130,6 +132,7 @@ func (v *Value) Worker() uint32 {
 // Size returns the value's packed allocation size in bytes (0 for nil). It
 // is the figure cache-mode byte accounting charges per value: header, offset
 // table, and column data in one number, read straight from the header.
+//masstree:noalloc
 func (v *Value) Size() int {
 	if v == nil {
 		return 0
@@ -141,6 +144,7 @@ func (v *Value) Size() int {
 // value that never expires. Expiry rides in the packed header so it survives
 // the log (wal.OpPutTTL) and checkpoints, and so reads can test it without
 // touching any structure beyond the value itself.
+//masstree:noalloc
 func (v *Value) ExpiresAt() uint64 {
 	if v == nil {
 		return 0
@@ -150,12 +154,14 @@ func (v *Value) ExpiresAt() uint64 {
 
 // Expired reports whether the value carries an expiry at or before now
 // (unix nanoseconds). A zero expiry never expires.
+//masstree:noalloc
 func (v *Value) Expired(now int64) bool {
 	e := v.ExpiresAt()
 	return e != 0 && e <= uint64(now)
 }
 
 // NumCols returns the number of columns.
+//masstree:noalloc
 func (v *Value) NumCols() int {
 	if v == nil {
 		return 0
@@ -166,6 +172,7 @@ func (v *Value) NumCols() int {
 // Col returns column i, or nil if the column does not exist or is empty.
 // The returned slice aliases the value's packed allocation and must not be
 // mutated.
+//masstree:noalloc
 func (v *Value) Col(i int) []byte {
 	if v == nil || i < 0 || i >= v.NumCols() {
 		return nil
@@ -195,6 +202,7 @@ func (v *Value) Cols() [][]byte {
 
 // Bytes returns column 0; it is the natural accessor for single-column
 // values, which is how simple get/put workloads use the store.
+//masstree:noalloc
 func (v *Value) Bytes() []byte { return v.Col(0) }
 
 // colData returns the bytes column i will hold after applying puts to old:

@@ -153,8 +153,11 @@ type Response struct {
 const MaxMessage = 64 << 20
 
 var (
-	errTooLarge = errors.New("wire: message exceeds MaxMessage")
-	errShort    = errors.New("wire: short message")
+	errTooLarge     = errors.New("wire: message exceeds MaxMessage")
+	errShort        = errors.New("wire: short message")
+	errTrailingReq  = errors.New("wire: trailing request bytes")
+	errTrailingResp = errors.New("wire: trailing response bytes")
+	errFrameLen     = errors.New("wire: frame length mismatch")
 )
 
 // Minimum encoded sizes, used to sanity-bound batch counts before sizing
@@ -190,6 +193,8 @@ func putFrameBuf(b *[]byte) {
 // body plus arenas backing the decoded requests' Key, Cols, and Puts fields.
 // Requests returned by ReadRequestsInto/ParseRequests alias these buffers
 // and are valid only until the next call with the same DecodeBuf.
+//
+//masstree:scratch
 type DecodeBuf struct {
 	frame []byte
 	reqs  []Request
@@ -229,6 +234,8 @@ func ReadRequestsInto(r *bufio.Reader, d *DecodeBuf) ([]Request, error) {
 // 4-byte length header). Decoded Key and put Data fields alias body; Cols
 // and Puts slices live in d's arenas. Results are valid until the next call
 // with the same DecodeBuf or until body's buffer is reused.
+//
+//masstree:noalloc
 func ParseRequests(body []byte, d *DecodeBuf) ([]Request, error) {
 	n, body, err := readU32(body)
 	if err != nil {
@@ -241,7 +248,7 @@ func ParseRequests(body []byte, d *DecodeBuf) ([]Request, error) {
 		return nil, errShort
 	}
 	if cap(d.reqs) < int(n) {
-		d.reqs = make([]Request, n)
+		d.reqs = make([]Request, n) //lint:allow noalloc scratch warm-up: amortized, sized by a count the frame length vouches for
 	} else {
 		d.reqs = d.reqs[:n]
 	}
@@ -254,7 +261,7 @@ func ParseRequests(body []byte, d *DecodeBuf) ([]Request, error) {
 		}
 	}
 	if len(body) != 0 {
-		return nil, errors.New("wire: trailing request bytes")
+		return nil, errTrailingReq
 	}
 	return d.reqs, nil
 }
@@ -269,6 +276,8 @@ func ParseRequests(body []byte, d *DecodeBuf) ([]Request, error) {
 // at least minRequestSize bytes, so a count a small frame cannot hold is a
 // forgery, not damage), or trailing bytes after a fully decoded batch.
 // Aliasing and scratch lifetime match ParseRequests.
+//
+//masstree:noalloc
 func ParseRequestsLenient(body []byte, d *DecodeBuf) (reqs []Request, claimed int, err error) {
 	n, body, err := readU32(body)
 	if err != nil {
@@ -278,7 +287,7 @@ func ParseRequestsLenient(body []byte, d *DecodeBuf) (reqs []Request, claimed in
 		return nil, 0, errShort
 	}
 	if cap(d.reqs) < int(n) {
-		d.reqs = make([]Request, n)
+		d.reqs = make([]Request, n) //lint:allow noalloc scratch warm-up: amortized, sized by a count the frame length vouches for
 	} else {
 		d.reqs = d.reqs[:n]
 	}
@@ -292,13 +301,15 @@ func ParseRequestsLenient(body []byte, d *DecodeBuf) (reqs []Request, claimed in
 		body = rest
 	}
 	if len(body) != 0 {
-		return nil, 0, errors.New("wire: trailing request bytes")
+		return nil, 0, errTrailingReq
 	}
 	return d.reqs, int(n), nil
 }
 
 // parseRequestAlias decodes one request without copying: Key and put Data
 // alias b, Cols/Puts slice into d's arenas. All fields of r are overwritten.
+//
+//masstree:noalloc
 func parseRequestAlias(b []byte, r *Request, d *DecodeBuf) ([]byte, error) {
 	*r = Request{}
 	if len(b) < 3 {
@@ -380,13 +391,15 @@ func parseRequestAlias(b []byte, r *Request, d *DecodeBuf) ([]byte, error) {
 		b = b[4:]
 	case OpRemove, OpStats:
 	default:
-		return nil, fmt.Errorf("wire: unknown opcode %d", r.Op)
+		return nil, fmt.Errorf("wire: unknown opcode %d", r.Op) //lint:allow noalloc malformed-input error path; a well-formed batch never reaches it
 	}
 	return b, nil
 }
 
 // RespDecodeBuf is the response-side analogue of DecodeBuf, used by clients
 // that read many response batches on one connection.
+//
+//masstree:scratch
 type RespDecodeBuf struct {
 	frame []byte
 	resps []Response
@@ -423,6 +436,8 @@ func ReadResponsesInto(r *bufio.Reader, d *RespDecodeBuf) ([]Response, error) {
 // ParseResponses decodes a response-batch body; column data and pair keys
 // alias body, slice headers live in d's arenas. Results are valid until the
 // next call with the same RespDecodeBuf or until body's buffer is reused.
+//
+//masstree:noalloc
 func ParseResponses(body []byte, d *RespDecodeBuf) ([]Response, error) {
 	n, body, err := readU32(body)
 	if err != nil {
@@ -432,7 +447,7 @@ func ParseResponses(body []byte, d *RespDecodeBuf) ([]Response, error) {
 		return nil, errShort
 	}
 	if cap(d.resps) < int(n) {
-		d.resps = make([]Response, n)
+		d.resps = make([]Response, n) //lint:allow noalloc scratch warm-up: amortized, sized by a count the frame length vouches for
 	} else {
 		d.resps = d.resps[:n]
 	}
@@ -445,11 +460,12 @@ func ParseResponses(body []byte, d *RespDecodeBuf) ([]Response, error) {
 		}
 	}
 	if len(body) != 0 {
-		return nil, errors.New("wire: trailing response bytes")
+		return nil, errTrailingResp
 	}
 	return d.resps, nil
 }
 
+//masstree:noalloc
 func parseResponseAlias(b []byte, r *Response, d *RespDecodeBuf) ([]byte, error) {
 	*r = Response{}
 	if len(b) < 13 {
@@ -500,6 +516,8 @@ func parseResponseAlias(b []byte, r *Response, d *RespDecodeBuf) ([]byte, error)
 
 // parseColsAlias reads n length-prefixed byte strings, aliasing b, with the
 // [][]byte headers appended to d's cols arena.
+//
+//masstree:noalloc
 func parseColsAlias(b []byte, n int, d *RespDecodeBuf) ([][]byte, []byte, error) {
 	start := len(d.cols)
 	for i := 0; i < n; i++ {
@@ -618,7 +636,7 @@ func ReadRequests(r *bufio.Reader) ([]Request, error) {
 		}
 	}
 	if len(body) != 0 {
-		return nil, errors.New("wire: trailing request bytes")
+		return nil, errTrailingReq
 	}
 	return reqs, nil
 }
@@ -647,7 +665,7 @@ func ReadResponses(r *bufio.Reader) ([]Response, error) {
 		}
 	}
 	if len(body) != 0 {
-		return nil, errors.New("wire: trailing response bytes")
+		return nil, errTrailingResp
 	}
 	return resps, nil
 }
@@ -655,6 +673,8 @@ func ReadResponses(r *bufio.Reader) ([]Response, error) {
 // ParseFrame validates a self-contained frame (one UDP datagram: 4-byte
 // length header plus body filling the rest of the buffer) and returns the
 // body, aliasing b.
+//
+//masstree:noalloc
 func ParseFrame(b []byte) ([]byte, error) {
 	if len(b) < 4 {
 		return nil, errShort
@@ -664,7 +684,7 @@ func ParseFrame(b []byte) ([]byte, error) {
 		return nil, errTooLarge
 	}
 	if int(n) != len(b)-4 {
-		return nil, errors.New("wire: frame length mismatch")
+		return nil, errFrameLen
 	}
 	return b[4:], nil
 }
