@@ -41,6 +41,25 @@
 // checkpoint timestamp redundant and skip it (replaying one could resurrect
 // a key whose remove only the checkpoint remembers).
 //
+// Log records are version-chained (the MTLOG2 format; MTLOG1 logs still
+// recover, their records replaying unvalidated). Every partial put carries
+// prev — the version it replaced, read in the same border-lock critical
+// section that drew its own version — and a put over a value stamped
+// through a different worker's log is logged column-complete with prev ==
+// 0, a chain anchor (inserts and Touch anchor too). Replay applies a
+// partial record only when its prev matches the replayed state; a broken
+// link rolls the key back to its last anchored prefix instead of merging
+// columns from different versions, and the rollback is counted in
+// recovery's broken_chains. A logset file names the expected per-worker
+// logs (committed by rename before any reclamation), so a log vanishing
+// wholesale — which the paper's min-over-logs cutoff cannot see, since a
+// missing log imposes no constraint — surfaces as missing_logs. Both
+// counters ride the server's Stats op. The walchain analyzer proves the
+// draw/read/append window statically, and the multi-writer crash torture
+// (TestCrashTortureMultiWriter) proves end to end that keys whose columns
+// span logs recover to exact applied states at every crash boundary, even
+// with a whole log removed.
+//
 // Cache mode (internal/cache) makes the store the memcached-class server
 // the paper benchmarks against (§1, §6): Config.MaxBytes bounds the
 // accounted live bytes — per-worker cache-line-padded counters fed by the
@@ -138,8 +157,8 @@
 // tree reads bracketed by epoch pins, hot paths allocation-free, scratch
 // aliases never stored past reuse, atomic fields never touched plainly —
 // are machine-checked. internal/analysis is a dependency-free
-// go/analysis-style suite whose five passes (lockpair, epochguard, noalloc,
-// scratchalias, atomicfield) verify them at build time; `go run
+// go/analysis-style suite whose six passes (lockpair, epochguard, noalloc,
+// scratchalias, atomicfield, walchain) verify them at build time; `go run
 // ./cmd/masstree-lint ./...` must exit clean and CI enforces it. Contracts
 // are declared where the code is:
 //
@@ -162,9 +181,10 @@
 // and the experiment index. Measured results live in the committed
 // BENCH_*.json snapshots at the repository root (BENCH_pipeline.json,
 // BENCH_writepath.json, BENCH_pipeline_v2.json, BENCH_recovery.json,
-// BENCH_cache.json, BENCH_backend.json, BENCH_cluster.json — read-path,
-// write-path, pipelining, restart, cache-mode, herd-coalescing, and cluster
-// fan-out/hedging numbers respectively). The implementation lives under
+// BENCH_cache.json, BENCH_backend.json, BENCH_cluster.json,
+// BENCH_replaychain.json — read-path, write-path, pipelining, restart,
+// cache-mode, herd-coalescing, cluster fan-out/hedging, and chained-WAL
+// cost/recovery numbers respectively). The implementation lives under
 // internal/; runnable entry points are under cmd/ and examples/
 // (examples/pipeline demonstrates the async client and CAS;
 // examples/cachefront the bounded cache; examples/readthrough the backend

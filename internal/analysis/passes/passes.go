@@ -8,6 +8,7 @@ import (
 	"repro/internal/analysis/passes/lockpair"
 	"repro/internal/analysis/passes/noalloc"
 	"repro/internal/analysis/passes/scratchalias"
+	"repro/internal/analysis/passes/walchain"
 )
 
 // All returns every analyzer in the suite, in reporting order.
@@ -18,5 +19,6 @@ func All() []*analysis.Analyzer {
 		noalloc.Analyzer,
 		scratchalias.Analyzer,
 		atomicfield.Analyzer,
+		walchain.Analyzer,
 	}
 }

@@ -1,0 +1,153 @@
+// Package a is the walchain golden fixture: a miniature kvstore write path
+// with the recognition conventions of the real one (tree write methods
+// Update/Apply/PutBatchInto taking func literals, a version-drawing
+// nextVersion method, a worker lock named lockWorker, and a WAL type named
+// Writer with the chained append methods), exercising every diagnostic and
+// the clean shapes.
+package a
+
+type Value struct{}
+
+func (v *Value) Version() uint64 {
+	if v == nil {
+		return 0
+	}
+	return 1
+}
+
+type ColPut struct {
+	Col  int
+	Data []byte
+}
+
+type Tree struct{}
+
+func (t *Tree) Update(key []byte, f func(*Value) *Value)               {}
+func (t *Tree) Apply(key []byte, f func(*Value) *Value)                {}
+func (t *Tree) PutBatchInto(keys [][]byte, f func(int, *Value) *Value) {}
+
+type Writer struct{}
+
+func (w *Writer) AppendPut(ts, prev uint64, key []byte, puts []ColPut)                            {}
+func (w *Writer) AppendPutTTL(ts, prev uint64, key []byte, puts []ColPut, expiry uint64)          {}
+func (w *Writer) AppendPutBatch(keys [][]byte, puts [][]ColPut, ts, prev []uint64, insert []bool) {}
+func (w *Writer) AppendInsert(ts uint64, key []byte, puts []ColPut)                               {}
+
+type Set struct{}
+
+func (s *Set) Writer(i int) *Writer { return &Writer{} }
+
+type mutex struct{}
+
+func (m *mutex) Unlock() {}
+
+type Store struct {
+	tree *Tree
+	logs *Set
+}
+
+func (s *Store) lockWorker(worker int) *mutex              { return &mutex{} }
+func (s *Store) nextVersion(worker int, old *Value) uint64 { return 2 }
+
+// goodPut is the canonical linked-put shape: prev and ver both drawn inside
+// the Update callback, append under the worker lock.
+func (s *Store) goodPut(worker int, key []byte, puts []ColPut) uint64 {
+	mu := s.lockWorker(worker)
+	defer mu.Unlock()
+	var ver, prev uint64
+	s.tree.Update(key, func(old *Value) *Value {
+		prev = old.Version()
+		ver = s.nextVersion(worker, old)
+		return old
+	})
+	s.logs.Writer(worker).AppendPut(ver, prev, key, puts)
+	return ver
+}
+
+// goodAnchor: the literal 0 is the one legal constant prev.
+func (s *Store) goodAnchor(worker int, key []byte, puts []ColPut, expiry uint64) {
+	mu := s.lockWorker(worker)
+	defer mu.Unlock()
+	var ver uint64
+	s.tree.Apply(key, func(old *Value) *Value {
+		ver = s.nextVersion(worker, old)
+		return old
+	})
+	s.logs.Writer(worker).AppendPutTTL(ver, 0, key, puts, expiry)
+}
+
+type scratch struct {
+	vers, prevs []uint64
+	inserts     []bool
+}
+
+// goodBatch: scratch-rooted versions and prev links filled in the batch
+// callback count as drawn under the border lock.
+func (s *Store) goodBatch(worker int, keys [][]byte, puts [][]ColPut, sc *scratch) {
+	mu := s.lockWorker(worker)
+	defer mu.Unlock()
+	s.tree.PutBatchInto(keys, func(i int, old *Value) *Value {
+		sc.prevs[i] = old.Version()
+		sc.vers[i] = s.nextVersion(worker, old)
+		return old
+	})
+	s.logs.Writer(worker).AppendPutBatch(keys, puts, sc.vers, sc.prevs, sc.inserts)
+}
+
+// badPrevOutside reads the prev link before the critical section — the
+// TOCTOU the chain invariant forbids.
+func (s *Store) badPrevOutside(worker int, key []byte, puts []ColPut, cur *Value) {
+	mu := s.lockWorker(worker)
+	defer mu.Unlock()
+	prev := cur.Version()
+	var ver uint64
+	s.tree.Update(key, func(old *Value) *Value {
+		ver = s.nextVersion(worker, old)
+		return old
+	})
+	s.logs.Writer(worker).AppendPut(ver, prev, key, puts) // want `prev link prev of AppendPut is not read in the border-lock critical section that draws the version`
+}
+
+// badNoLock appends outside the worker lock: nothing serializes the
+// draw-to-append window against the next writer.
+func (s *Store) badNoLock(worker int, key []byte, puts []ColPut) {
+	var ver, prev uint64
+	s.tree.Update(key, func(old *Value) *Value {
+		prev = old.Version()
+		ver = s.nextVersion(worker, old)
+		return old
+	})
+	s.logs.Writer(worker).AppendPut(ver, prev, key, puts) // want `AppendPut without the worker lock: no lockWorker call precedes the append`
+}
+
+// badLiteralPrev forges a constant chain link.
+func (s *Store) badLiteralPrev(worker int, key []byte, puts []ColPut) {
+	mu := s.lockWorker(worker)
+	defer mu.Unlock()
+	var ver uint64
+	s.tree.Update(key, func(old *Value) *Value {
+		ver = s.nextVersion(worker, old)
+		return old
+	})
+	s.logs.Writer(worker).AppendPut(ver, 7, key, puts) // want `constant prev 7 in AppendPut: only 0 \(a chain anchor\) may be a constant link`
+}
+
+// badVersionOutside draws the version outside any tree write, so it is
+// unordered against the value it stamps — and the append's arguments are
+// then both un-drawn.
+func (s *Store) badVersionOutside(worker int, key []byte, puts []ColPut, cur *Value) {
+	mu := s.lockWorker(worker)
+	defer mu.Unlock()
+	ver := s.nextVersion(worker, cur) // want `nextVersion outside a tree-write critical section`
+	prev := cur.Version()
+	s.tree.Update(key, func(old *Value) *Value { return old })
+	s.logs.Writer(worker).AppendPut(ver, prev, key, puts) // want `version argument ver of AppendPut is not assigned in the border-lock critical section that draws it` `prev link prev of AppendPut is not read in the border-lock critical section that draws the version`
+}
+
+// goodAllowed: a deliberate exception carries an annotated reason.
+func (s *Store) goodAllowed(worker int, key []byte, puts []ColPut, replayVer, replayPrev uint64) {
+	mu := s.lockWorker(worker)
+	defer mu.Unlock()
+	//lint:allow walchain replay re-logs versions drawn by the original writer
+	s.logs.Writer(worker).AppendPut(replayVer, replayPrev, key, puts)
+}

@@ -1,0 +1,12 @@
+package walchain_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/walchain"
+)
+
+func TestWalchain(t *testing.T) {
+	analysistest.Run(t, walchain.Analyzer, "a")
+}

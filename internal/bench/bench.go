@@ -147,10 +147,12 @@ var Registry = map[string]func(Scale) *Table{
 	"cache":   Cache,
 	"herd":    Herd,
 	"cluster": Cluster,
+
+	"replaychain": Replaychain,
 }
 
 // IDs lists experiment ids in presentation order.
-var IDs = []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "sec63", "sec64", "ckpt", "retry", "shape", "cache", "herd", "cluster"}
+var IDs = []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "sec63", "sec64", "ckpt", "retry", "shape", "cache", "herd", "cluster", "replaychain"}
 
 // All runs every experiment.
 func All(sc Scale) []*Table {

@@ -151,9 +151,30 @@ type Store struct {
 
 	ckptMu sync.Mutex // one checkpoint at a time
 
+	// recovered is what Open's recovery observed; immutable afterwards.
+	recovered RecoveryStats
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
+
+// RecoveryStats reports what Open's recovery observed. Both counts are
+// zero on a clean restart; nonzero values mean log state vanished between
+// the crash and the reopen (operator intervention, device loss) and
+// recovery detected it instead of serving a mis-merged value.
+type RecoveryStats struct {
+	// BrokenChains counts keys whose replay chain had a broken prev link —
+	// a partial-column record whose base was never rebuilt because a
+	// predecessor's log vanished. Each such key was rolled back to its
+	// last anchored prefix rather than mis-merged.
+	BrokenChains int64
+	// MissingLogs counts log files the directory's logset expected but
+	// recovery could not find (wal.RecoveryResult.MissingLogs).
+	MissingLogs int64
+}
+
+// RecoveryStats reports what the last Open's recovery observed.
+func (s *Store) RecoveryStats() RecoveryStats { return s.recovered }
 
 // Open creates a store, recovering from the newest valid checkpoint plus
 // logs when cfg.Dir holds a previous incarnation's state.
@@ -263,28 +284,59 @@ func (s *Store) recover() error {
 	if err != nil {
 		return fmt.Errorf("kvstore: scanning logs: %w", err)
 	}
-	res.Replay(max(4, runtime.GOMAXPROCS(0)), func(r wal.Record) {
-		switch r.Op {
-		case wal.OpPut, wal.OpPutTTL, wal.OpInsert, wal.OpInsertTTL:
-			s.tree.Update(r.Key, func(old *value.Value) *value.Value {
-				if old != nil && old.Version() >= r.TS {
-					return old // already reflected (e.g. via the checkpoint)
+	// Chain-validated replay: each key's records arrive in increasing TS
+	// order, and a linked (v2, non-anchor) record merges only when its prev
+	// link matches the state replay rebuilt. A mismatch means the record's
+	// base was never rebuilt — a predecessor's log vanished wholesale, so
+	// the vanished log constrained neither the cutoff nor anything else —
+	// and merging anyway would fabricate a column mix no execution
+	// produced. The key stays at its last anchored prefix instead (refusal
+	// IS the rollback: records replay in version order, so whatever the
+	// key holds when a link breaks is the longest prefix the surviving
+	// logs can vouch for), and the rollback is counted in BrokenChains.
+	// Once a link breaks, later linked records cannot spuriously match the
+	// stale state (versions strictly increase past it); only an anchor —
+	// an insert, or a column-complete prev==0 record — resumes the key.
+	// Values are rebuilt with the record's originating worker as their
+	// worker tag, so cross-log handoff detection stays exact after a
+	// restart.
+	var brokenChains atomic.Int64
+	res.ReplayByKey(max(4, runtime.GOMAXPROCS(0)), func(recs []wal.Record) {
+		broken := false
+		for _, r := range recs {
+			switch r.Op {
+			case wal.OpPut, wal.OpPutTTL, wal.OpInsert, wal.OpInsertTTL:
+				s.tree.Update(r.Key, func(old *value.Value) *value.Value {
+					if old != nil && old.Version() >= r.TS {
+						return old // already reflected (e.g. via the checkpoint)
+					}
+					if r.Op.IsInsert() || (!r.Unlinked && r.Prev == 0) {
+						// Chain anchor: executed against an absent (or
+						// lazily-expired) base, or carrying every column of
+						// the value it published (handoff anchors, Touch).
+						// Replace rather than merge, so stale records of a
+						// cleanly-dropped (evicted/swept) predecessor cannot
+						// fold their columns into the recovered value.
+						return value.BuildTTLAt(nil, r.Puts, r.TS, uint32(r.Worker), r.Expiry)
+					}
+					if !r.Unlinked && old.Version() != r.Prev {
+						broken = true
+						return old // broken chain: hold the anchored prefix
+					}
+					return value.BuildTTLAt(old, r.Puts, r.TS, uint32(r.Worker), r.Expiry)
+				})
+			case wal.OpRemove:
+				if v, ok := s.tree.Get(r.Key); ok && v.Version() < r.TS {
+					s.tree.Remove(r.Key)
 				}
-				if r.Op.IsInsert() {
-					// Executed against an absent (or lazily-expired) base:
-					// replace rather than merge, so stale records of a
-					// cleanly-dropped (evicted/swept) predecessor cannot
-					// fold their columns into the recovered value.
-					old = nil
-				}
-				return value.ApplyTTLAt(old, r.Puts, r.TS, r.Expiry)
-			})
-		case wal.OpRemove:
-			if v, ok := s.tree.Get(r.Key); ok && v.Version() < r.TS {
-				s.tree.Remove(r.Key)
 			}
 		}
+		if broken {
+			brokenChains.Add(1)
+		}
 	})
+	s.recovered.BrokenChains = brokenChains.Load()
+	s.recovered.MissingLogs = int64(res.MissingLogs)
 	// Seed the clocks past everything the previous incarnation could have
 	// issued: replayed log timestamps, checkpointed value versions, and the
 	// checkpoint's own start timestamp. The last matters when removes (whose
@@ -644,8 +696,10 @@ type BatchScratch struct {
 	vals    []*value.Value
 	found   []bool
 	vers    []uint64
-	sizes   []int  // packed sizes of a put batch's new values (cache admission)
-	inserts []bool // which batch entries executed against an absent base
+	sizes   []int          // packed sizes of a put batch's new values (cache admission)
+	inserts []bool         // which batch entries executed against an absent base
+	prevs   []uint64       // replaced-value versions (wal chain links; 0 for inserts)
+	anchors []*value.Value // new values of cross-log handoff entries (nil otherwise)
 	core    core.BatchScratch
 }
 
@@ -684,8 +738,8 @@ func extractBatchCols(vals []*value.Value, ok []bool, cols []int) [][][]byte {
 func (s *Store) GetBatchInto(keys [][]byte, sc *BatchScratch) ([]*value.Value, []bool) {
 	n := len(keys)
 	if cap(sc.vals) < n {
-		sc.vals = make([]*value.Value, n)  //lint:allow noalloc scratch warm-up: amortized over the scratch lifetime
-		sc.found = make([]bool, n)         //lint:allow noalloc scratch warm-up: amortized over the scratch lifetime
+		sc.vals = make([]*value.Value, n) //lint:allow noalloc scratch warm-up: amortized over the scratch lifetime
+		sc.found = make([]bool, n)        //lint:allow noalloc scratch warm-up: amortized over the scratch lifetime
 	}
 	sc.vals = sc.vals[:n]
 	sc.found = sc.found[:n]
@@ -750,33 +804,59 @@ func (s *Store) expireBase(worker int, old *value.Value) *value.Value {
 	return nil
 }
 
+// anchorPuts materializes every column of nv as a ColPut slice, for logging
+// a column-complete chain-anchor record (cross-log handoffs, Touch). The
+// Data slices alias nv's immutable packed allocation; the log writer copies
+// them into its buffer. One slice allocation — the handoff path's second
+// alloc, pinned by TestHandoffAnchorAllocs.
+func anchorPuts(nv *value.Value) []value.ColPut {
+	puts := make([]value.ColPut, nv.NumCols())
+	for i := range puts {
+		puts[i] = value.ColPut{Col: i, Data: nv.Col(i)}
+	}
+	return puts
+}
+
 // Put applies the column modifications to key atomically, logging through
 // the given worker's log, and returns the new value's version. Neither puts
 // nor the Data slices are retained: both are copied into the packed value
 // and the log buffer.
+//
+// Logging chains the record to the replaced value's version (wal format
+// v2), with one exception: when the replaced value's version was stamped
+// through a different worker's log (base.Worker() != worker — a cross-log
+// handoff), the record is logged column-complete with prev == 0, anchoring
+// the key's chain in this log. No replay chain ever spans log files without
+// an anchor, so a vanished log is always detectable at recovery.
 func (s *Store) Put(worker int, key []byte, puts []value.ColPut) uint64 {
 	if s.logs != nil {
 		mu := s.lockWorker(worker)
 		defer mu.Unlock()
 	}
-	var ver uint64
+	var ver, prev uint64
 	var delta int64
 	var size int
-	insert := false
+	var nv *value.Value
+	insert, handoff := false, false
 	s.tree.Update(key, func(old *value.Value) *value.Value {
 		base := s.expireBase(worker, old)
 		insert = base == nil
+		prev = base.Version() // nil-safe: 0 for absent keys
+		handoff = base != nil && base.Worker() != uint32(worker)
 		ver = s.nextVersion(worker, base)
-		nv := value.BuildAt(base, puts, ver, uint32(worker))
+		nv = value.BuildAt(base, puts, ver, uint32(worker))
 		size = nv.Size()
 		delta = int64(size - old.Size())
 		return nv
 	})
 	if s.logs != nil {
-		if insert {
+		switch {
+		case insert:
 			s.logs.Writer(worker).AppendInsert(ver, key, puts)
-		} else {
-			s.logs.Writer(worker).AppendPut(ver, key, puts)
+		case handoff:
+			s.logs.Writer(worker).AppendPut(ver, 0, key, anchorPuts(nv))
+		default:
+			s.logs.Writer(worker).AppendPut(ver, prev, key, puts)
 		}
 	}
 	s.noteWrite(key)
@@ -806,24 +886,31 @@ func (s *Store) PutTTL(worker int, key []byte, puts []value.ColPut, expiresAt ui
 		mu := s.lockWorker(worker)
 		defer mu.Unlock()
 	}
-	var ver uint64
+	var ver, prev uint64
 	var delta int64
 	var size int
-	insert := false
+	var nv *value.Value
+	insert, handoff := false, false
 	s.tree.Update(key, func(old *value.Value) *value.Value {
 		base := s.expireBase(worker, old)
 		insert = base == nil
+		prev = base.Version() // nil-safe: 0 for absent keys
+		handoff = base != nil && base.Worker() != uint32(worker)
 		ver = s.nextVersion(worker, base)
-		nv := value.BuildTTLAt(base, puts, ver, uint32(worker), expiresAt)
+		nv = value.BuildTTLAt(base, puts, ver, uint32(worker), expiresAt)
 		size = nv.Size()
 		delta = int64(size - old.Size())
 		return nv
 	})
 	if s.logs != nil {
-		if insert {
+		switch {
+		case insert:
 			s.logs.Writer(worker).AppendInsertTTL(ver, key, puts, expiresAt)
-		} else {
-			s.logs.Writer(worker).AppendPutTTL(ver, key, puts, expiresAt)
+		case handoff:
+			// Cross-log handoff: anchor the chain in this log (see Put).
+			s.logs.Writer(worker).AppendPutTTL(ver, 0, key, anchorPuts(nv), expiresAt)
+		default:
+			s.logs.Writer(worker).AppendPutTTL(ver, prev, key, puts, expiresAt)
 		}
 	}
 	if expiresAt != 0 {
@@ -863,18 +950,15 @@ func (s *Store) Touch(worker int, key []byte, expiresAt uint64) (ver uint64, ok 
 		return 0, false
 	}
 	if s.logs != nil {
-		// Log the touch column-complete: the record carries every column of
-		// the republished value, not an empty delta. A zero-column OpPutTTL
-		// would replay as an empty value if the log holding the key's
-		// original put vanished wholesale (ROADMAP's vanished-log hole) —
-		// recovering found-but-empty, worse than absent. Carrying the full
-		// value keeps Touch out of that hole entirely; the columns alias
-		// nv's immutable allocation and are copied into the log buffer.
-		puts := make([]value.ColPut, nv.NumCols())
-		for i := range puts {
-			puts[i] = value.ColPut{Col: i, Data: nv.Col(i)}
-		}
-		s.logs.Writer(worker).AppendPutTTL(ver, key, puts, expiresAt)
+		// Log the touch column-complete with prev == 0 — a chain anchor:
+		// the record carries every column of the republished value, not an
+		// empty delta. A zero-column OpPutTTL would replay as an empty
+		// value if the log holding the key's original put vanished
+		// wholesale (the vanished-log hole) — recovering found-but-empty,
+		// worse than absent. Carrying the full value keeps Touch out of
+		// that hole entirely, and replay applies the anchor as a
+		// replacement regardless of what precedes it.
+		s.logs.Writer(worker).AppendPutTTL(ver, 0, key, anchorPuts(nv), expiresAt)
 	}
 	if expiresAt != 0 {
 		s.ttlUsed.Store(true)
@@ -900,10 +984,11 @@ func (s *Store) CasPut(worker int, key []byte, expect uint64, puts []value.ColPu
 		mu := s.lockWorker(worker)
 		defer mu.Unlock()
 	}
-	var cur, newVer uint64
+	var cur, newVer, prev uint64
 	var delta int64
 	var size int
-	insert := false
+	var nv *value.Value
+	insert, handoff := false, false
 	s.tree.Apply(key, func(old *value.Value) *value.Value {
 		// A lazily-expired value reads as absent everywhere, so CAS must
 		// see it as absent too: cur = 0, and expect == 0 (create-if-absent)
@@ -920,8 +1005,10 @@ func (s *Store) CasPut(worker int, key []byte, expect uint64, puts []value.ColPu
 		ok = true
 		base = s.expireBase(worker, old)
 		insert = base == nil
+		prev = base.Version()
+		handoff = base != nil && base.Worker() != uint32(worker)
 		newVer = s.nextVersion(worker, base)
-		nv := value.BuildAt(base, puts, newVer, uint32(worker))
+		nv = value.BuildAt(base, puts, newVer, uint32(worker))
 		size = nv.Size()
 		delta = int64(size - old.Size())
 		return nv
@@ -930,10 +1017,14 @@ func (s *Store) CasPut(worker int, key []byte, expect uint64, puts []value.ColPu
 		return cur, false
 	}
 	if s.logs != nil {
-		if insert {
+		switch {
+		case insert:
 			s.logs.Writer(worker).AppendInsert(newVer, key, puts)
-		} else {
-			s.logs.Writer(worker).AppendPut(newVer, key, puts)
+		case handoff:
+			// Cross-log handoff: anchor the chain in this log (see Put).
+			s.logs.Writer(worker).AppendPut(newVer, 0, key, anchorPuts(nv))
+		default:
+			s.logs.Writer(worker).AppendPut(newVer, prev, key, puts)
 		}
 	}
 	s.noteWrite(key)
@@ -1037,19 +1128,55 @@ func (s *Store) PutBatchInto(worker int, keys [][]byte, puts [][]value.ColPut, s
 		sc.inserts = make([]bool, n)
 	}
 	sc.inserts = sc.inserts[:n]
+	if cap(sc.prevs) < n {
+		sc.prevs = make([]uint64, n)
+	}
+	sc.prevs = sc.prevs[:n]
+	if cap(sc.anchors) < n {
+		sc.anchors = make([]*value.Value, n)
+	}
+	sc.anchors = sc.anchors[:n]
 	var delta int64
+	handoffs := false
 	s.tree.PutBatchInto(keys, &sc.core, func(i int, old *value.Value) *value.Value {
 		base := s.expireBase(worker, old)
 		sc.inserts[i] = base == nil
+		sc.prevs[i] = base.Version() // nil-safe: 0 for absent keys
 		ver := s.nextVersion(worker, base)
 		sc.vers[i] = ver
 		nv := value.BuildAt(base, puts[i], ver, uint32(worker))
+		sc.anchors[i] = nil
+		if base != nil && base.Worker() != uint32(worker) {
+			// Cross-log handoff: this entry must be logged column-complete
+			// with prev == 0 (see Put), so remember the built value.
+			sc.anchors[i] = nv
+			handoffs = true
+		}
 		sc.sizes[i] = nv.Size()
 		delta += int64(nv.Size() - old.Size())
 		return nv
 	})
 	if s.logs != nil {
-		s.logs.Writer(worker).AppendPutBatch(keys, puts, sc.vers, sc.inserts)
+		if !handoffs {
+			s.logs.Writer(worker).AppendPutBatch(keys, puts, sc.vers, sc.prevs, sc.inserts)
+		} else {
+			// Handoff entries swap in column-complete anchor puts, so the
+			// batch falls back to per-record appends. Intra-batch record
+			// order is preserved; replay orders a key's records by version
+			// anyway, and all records land before workerMu is released, so
+			// the log's durable-timestamp claim stays sound.
+			w := s.logs.Writer(worker)
+			for i := range keys {
+				switch {
+				case sc.inserts[i]:
+					w.AppendInsert(sc.vers[i], keys[i], puts[i])
+				case sc.anchors[i] != nil:
+					w.AppendPut(sc.vers[i], 0, keys[i], anchorPuts(sc.anchors[i]))
+				default:
+					w.AppendPut(sc.vers[i], sc.prevs[i], keys[i], puts[i])
+				}
+			}
+		}
 	}
 	if s.loader != nil {
 		for i := range keys {

@@ -69,8 +69,9 @@ func joinCols(cols [][]byte) string {
 func (tt *torture) histOf(key string) *keyHist {
 	h := tt.hist[key]
 	if h == nil {
-		// A key is always written through the same worker, so its records
-		// share one log and the durable-prefix property holds per key.
+		// put/remove pin a key to this default worker; the multi-writer
+		// schedules (putW/removeW in torture_multiwriter_test.go) override
+		// it per op, deliberately spreading one key's records across logs.
 		h = &keyHist{worker: len(tt.hist) % tt.workers, acked: -1}
 		tt.hist[key] = h
 	}

@@ -598,6 +598,8 @@ func (s *Server) statsResponse(v2 bool) wire.Response {
 		metric("admit_drops", cs.AdmitDrops),
 		metric("flush_errors", flushErrs),
 		metric("flush_retries", s.store.FlushRetries()),
+		metric("broken_chains", s.store.RecoveryStats().BrokenChains),
+		metric("missing_logs", s.store.RecoveryStats().MissingLogs),
 	}
 	// Backend-tier health (all numeric, so v1 clients that integer-parse
 	// every stat stay happy): zero-valued when no backend is configured.

@@ -1,0 +1,69 @@
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+
+	"repro/internal/value"
+	"repro/internal/vfs"
+)
+
+// The legacy MTLOG1 record layout, kept as the reference encoder for
+// format-compatibility tests and fuzz seeding — the writer only produces
+// MTLOG2 now, but every v1 log ever written must keep recovering, so the
+// reader is exercised against bytes produced exactly the way the old
+// encoder produced them.
+
+// appendRecordV1 serializes a record in the legacy MTLOG1 layout: identical
+// to appendRecord except that no op carries a prev link.
+//
+//	crc32(payload) u32 | payloadLen u32 | payload
+//	payload: ts u64 | op u8 | [expiry u64, OpPutTTL/OpInsertTTL only] | keyLen u32 | key |
+//	         ncols u16 | { col u16 | dataLen u32 | data }*
+func appendRecordV1(buf []byte, ts uint64, op Op, key []byte, puts []value.ColPut, expiry uint64) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // crc + len, backfilled below
+	buf = binary.LittleEndian.AppendUint64(buf, ts)
+	buf = append(buf, byte(op))
+	if op.HasExpiry() {
+		buf = binary.LittleEndian.AppendUint64(buf, expiry)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(puts)))
+	for _, p := range puts {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(p.Col))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Data)))
+		buf = append(buf, p.Data...)
+	}
+	payload := buf[start+8:]
+	binary.LittleEndian.PutUint32(buf[start:], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(buf[start+4:], uint32(len(payload)))
+	return buf
+}
+
+// WriteLegacyLogFS writes a complete MTLOG1-format log file holding recs at
+// path, exactly as a pre-v2 writer would have. Record Prev/Unlinked fields
+// are ignored (the format has no place for them). Test support only: it
+// lets compatibility tests lay down genuine v1 directories without keeping
+// old binaries around.
+func WriteLegacyLogFS(fsys vfs.FS, path string, recs []Record) error {
+	buf := append([]byte(nil), fileMagicV1...)
+	for i := range recs {
+		buf = appendRecordV1(buf, recs[i].TS, recs[i].Op, recs[i].Key, recs[i].Puts, recs[i].Expiry)
+	}
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -19,6 +19,20 @@
 // t = min over logs of that log's maximum durable timestamp, drops records
 // beyond t, and replays each key's surviving updates in increasing version
 // order.
+//
+// The cutoff alone cannot defend against a log vanishing wholesale: a
+// missing log contributes no constraint to the minimum, so a partial-column
+// put logged elsewhere could be merged onto a base that never saw the
+// vanished log's delta. Format v2 (MTLOG2) therefore chains every
+// OpPut/OpPutTTL record to the version of the value it was applied over
+// (Record.Prev). Prev == 0 marks a chain anchor — an insert, or a
+// column-complete record carrying every column of the value it published —
+// which replays as a replacement; any other record is applied only when its
+// prev link matches the replayed state, so a vanished predecessor is
+// detected (the key rolls back to its last anchored prefix) instead of
+// silently mis-merged. The companion logset file records which log files
+// recovery should expect, distinguishing "this worker never logged" from
+// "this worker's log vanished".
 package wal
 
 import (
@@ -78,40 +92,72 @@ func (op Op) IsInsert() bool { return op == OpInsert || op == OpInsertTTL }
 // HasExpiry reports whether op's payload carries an expiry timestamp.
 func (op Op) HasExpiry() bool { return op == OpPutTTL || op == OpInsertTTL }
 
+// HasPrev reports whether op's v2 payload carries a prev-version chain link.
+// Only the merge ops need one: inserts replace their base by definition, so
+// they are chain anchors without spending the eight bytes.
+func (op Op) HasPrev() bool { return op == OpPut || op == OpPutTTL }
+
 // Record is one logged update.
 type Record struct {
-	TS     uint64 // timestamp == value version (global monotonic counter)
-	Op     Op
-	Key    []byte
+	TS  uint64 // timestamp == value version (global monotonic counter)
+	Op  Op
+	Key []byte
+	// Prev is the version of the value this put was applied over — the
+	// chain link that lets replay prove the record's base was rebuilt
+	// before merging the record's (possibly partial) columns onto it.
+	// Prev == 0 marks a chain anchor: the record was built on no base
+	// (inserts) or carries every column of the value it published
+	// (handoff anchors, Touch), so replay applies it as a replacement.
+	// Meaningful only for OpPut/OpPutTTL in v2 logs; see Unlinked.
+	Prev uint64
+	// Unlinked marks a record parsed from a v1 (MTLOG1) log, which carried
+	// no prev link. Replay merges unlinked records unvalidated, exactly as
+	// the v1 reader did — they are neither anchors nor checkable links.
+	Unlinked bool
+	// Worker is the id of the log file the record was recovered from. It is
+	// not serialized (the filename carries it); RecoverDirAboveFS fills it
+	// so replay can rebuild each value's worker tag, keeping cross-log
+	// handoff detection exact across a restart.
+	Worker int
 	Puts   []value.ColPut // column modifications; nil for OpRemove
 	Expiry uint64         // unix nanoseconds, OpPutTTL only; 0 = never
 }
 
-// fileMagic begins every log file.
-var fileMagic = []byte("MTLOG1\n")
+// fileMagic begins every log file written by this version (format v2:
+// OpPut/OpPutTTL payloads carry a prev-version chain link). fileMagicV1
+// begins logs written before the chain link existed; they are still read
+// (their records parse as Unlinked) but never written.
+var (
+	fileMagic   = []byte("MTLOG2\n")
+	fileMagicV1 = []byte("MTLOG1\n")
+)
 
 var (
 	// ErrCorrupt reports a log whose header or a leading record is invalid.
 	ErrCorrupt = errors.New("wal: corrupt log")
 )
 
-// appendRecord serializes a record onto buf in place — no intermediate
+// appendRecord serializes a v2 record onto buf in place — no intermediate
 // payload buffer, so a warmed log buffer makes appends allocation-free.
 // Layout (little endian):
 //
 //	crc32(payload) u32 | payloadLen u32 | payload
-//	payload: ts u64 | op u8 | [expiry u64, OpPutTTL/OpInsertTTL only] | keyLen u32 | key |
+//	payload: ts u64 | op u8 | [prev u64, OpPut/OpPutTTL only] |
+//	         [expiry u64, OpPutTTL/OpInsertTTL only] | keyLen u32 | key |
 //	         ncols u16 | { col u16 | dataLen u32 | data }*
 //
 // The crc and length are backfilled after the payload is written. A torn
 // tail write invalidates the crc, so recovery stops cleanly at the last
 // complete record (group commit may lose the unforced tail, which the paper
 // accepts — those puts were never durable).
-func appendRecord(buf []byte, ts uint64, op Op, key []byte, puts []value.ColPut, expiry uint64) []byte {
+func appendRecord(buf []byte, ts, prev uint64, op Op, key []byte, puts []value.ColPut, expiry uint64) []byte {
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // crc + len, backfilled below
 	buf = binary.LittleEndian.AppendUint64(buf, ts)
 	buf = append(buf, byte(op))
+	if op.HasPrev() {
+		buf = binary.LittleEndian.AppendUint64(buf, prev)
+	}
 	if op.HasExpiry() {
 		buf = binary.LittleEndian.AppendUint64(buf, expiry)
 	}
@@ -130,8 +176,10 @@ func appendRecord(buf []byte, ts uint64, op Op, key []byte, puts []value.ColPut,
 }
 
 // parseRecord decodes one record from b, returning the record and the number
-// of bytes consumed. A short or corrupt prefix returns n == 0.
-func parseRecord(b []byte) (Record, int) {
+// of bytes consumed. A short or corrupt prefix returns n == 0. v1 selects
+// the MTLOG1 payload layout (no prev link); records parsed that way come
+// back Unlinked.
+func parseRecord(b []byte, v1 bool) (Record, int) {
 	if len(b) < 8 {
 		return Record{}, 0
 	}
@@ -148,6 +196,15 @@ func parseRecord(b []byte) (Record, int) {
 	r.TS = binary.LittleEndian.Uint64(payload)
 	r.Op = Op(payload[8])
 	p := 9
+	if v1 {
+		r.Unlinked = true
+	} else if r.Op.HasPrev() {
+		if p+8 > plen {
+			return Record{}, 0
+		}
+		r.Prev = binary.LittleEndian.Uint64(payload[p:])
+		p += 8
+	}
 	if r.Op.HasExpiry() {
 		if p+8 > plen {
 			return Record{}, 0
@@ -188,28 +245,34 @@ func parseRecord(b []byte) (Record, int) {
 }
 
 // parseLog decodes all complete records from a log file's contents
-// (including the file header). It stops silently at the first torn or
-// corrupt record, which recovery treats as the end of the durable log.
+// (including the file header). Both the current (MTLOG2) and the legacy
+// (MTLOG1) formats are read; records from a v1 log come back Unlinked. It
+// stops silently at the first torn or corrupt record, which recovery treats
+// as the end of the durable log.
 //
-// A file holding only a (possibly torn) prefix of the header magic parses
-// as an empty log: a crash right after log creation can leave the
+// A file holding only a (possibly torn) prefix of either header magic
+// parses as an empty log: a crash right after log creation can leave the
 // directory entry durable with none of the file's bytes — that worker
 // durably logged nothing, which must not brick recovery. Bytes that
-// contradict the magic still report corruption.
+// contradict both magics still report corruption.
 func parseLog(b []byte) ([]Record, error) {
-	if len(b) < len(fileMagic) {
-		if string(b) == string(fileMagic[:len(b)]) {
+	v1 := false
+	switch {
+	case len(b) < len(fileMagic):
+		if string(b) == string(fileMagic[:len(b)]) || string(b) == string(fileMagicV1[:len(b)]) {
 			return nil, nil
 		}
 		return nil, fmt.Errorf("%w: bad file magic", ErrCorrupt)
-	}
-	if string(b[:len(fileMagic)]) != string(fileMagic) {
+	case string(b[:len(fileMagic)]) == string(fileMagic):
+	case string(b[:len(fileMagicV1)]) == string(fileMagicV1):
+		v1 = true
+	default:
 		return nil, fmt.Errorf("%w: bad file magic", ErrCorrupt)
 	}
 	b = b[len(fileMagic):]
 	var out []Record
 	for len(b) > 0 {
-		r, n := parseRecord(b)
+		r, n := parseRecord(b, v1)
 		if n == 0 {
 			break
 		}

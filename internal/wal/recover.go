@@ -67,6 +67,15 @@ type RecoveryResult struct {
 	MaxTS uint64
 	// MaxGen is the largest log generation present.
 	MaxGen uint64
+	// MissingLogs counts log files the directory's logset said to expect
+	// but that are absent — logs that vanished wholesale, as opposed to
+	// workers that never logged (their files exist, possibly empty). A
+	// vanished log contributes no constraint to the cutoff, so without
+	// this count its loss would be invisible; with it, the operator knows
+	// recovery ran against an incomplete directory even if every replay
+	// chain happened to validate. Zero when the directory has no
+	// (parseable) logset.
+	MissingLogs int
 }
 
 // RecoverDirFS reads every log file in dir and computes the recovery
@@ -126,13 +135,32 @@ func RecoverDirAboveFS(fsys vfs.FS, dir string, floor uint64) (*RecoveryResult, 
 			return nil, e
 		}
 	}
+	// Count logs the directory's logset expected but the listing lacks
+	// (see logset.go; no logset means no check).
+	if workers, gen, ok := readLogSet(fsys, dir); ok {
+		present := make(map[int]bool, workers)
+		for _, lf := range files {
+			if lf.Gen == gen {
+				present[lf.Worker] = true
+			}
+		}
+		for w := 0; w < workers; w++ {
+			if !present[w] {
+				res.MissingLogs++
+			}
+		}
+	}
 	// Concatenate each worker's generations in order (ListLogFilesFS sorts
 	// by worker then generation), then treat the result as that worker's
-	// single log.
+	// single log. Each record is tagged with the worker whose log held it,
+	// so replay can rebuild values with their worker tags intact.
 	perWorker := map[int][]Record{}
 	for i, lf := range files {
 		if lf.Gen > res.MaxGen {
 			res.MaxGen = lf.Gen
+		}
+		for j := range parsed[i] {
+			parsed[i][j].Worker = lf.Worker
 		}
 		perWorker[lf.Worker] = append(perWorker[lf.Worker], parsed[i]...)
 	}
@@ -190,6 +218,18 @@ func (s *Set) Mark(ts uint64) {
 //
 // apply receives records for one key in strictly increasing TS order.
 func (r *RecoveryResult) Replay(parallelism int, apply func(Record)) {
+	r.ReplayByKey(parallelism, func(recs []Record) {
+		for _, rec := range recs {
+			apply(rec)
+		}
+	})
+}
+
+// ReplayByKey is Replay handing apply each key's full record sequence at
+// once (sorted by increasing TS), so a chain-validating loader can carry
+// per-key state — a broken prev link, the last anchored prefix — across the
+// key's records without a global map.
+func (r *RecoveryResult) ReplayByKey(parallelism int, apply func(recs []Record)) {
 	if parallelism < 1 {
 		parallelism = 1
 	}
@@ -209,9 +249,7 @@ func (r *RecoveryResult) Replay(parallelism int, apply func(Record)) {
 		go func(p int) {
 			defer wg.Done()
 			for i := p; i < len(keys); i += parallelism {
-				for _, rec := range byKey[keys[i]] {
-					apply(rec)
-				}
+				apply(byKey[keys[i]])
 			}
 		}(p)
 	}

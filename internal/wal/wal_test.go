@@ -14,7 +14,7 @@ import (
 
 // appendRec adapts a Record struct to the in-place encoder for tests.
 func appendRec(buf []byte, r *Record) []byte {
-	return appendRecord(buf, r.TS, r.Op, r.Key, r.Puts, r.Expiry)
+	return appendRecord(buf, r.TS, r.Prev, r.Op, r.Key, r.Puts, r.Expiry)
 }
 
 func TestRecordRoundTrip(t *testing.T) {
@@ -29,7 +29,7 @@ func TestRecordRoundTrip(t *testing.T) {
 		buf = appendRec(buf, &recs[i])
 	}
 	for i := range recs {
-		r, n := parseRecord(buf)
+		r, n := parseRecord(buf, false)
 		if n == 0 {
 			t.Fatalf("record %d failed to parse", i)
 		}
@@ -55,7 +55,7 @@ func TestRecordRoundTripQuick(t *testing.T) {
 	f := func(ts uint64, key []byte, col uint8, data []byte) bool {
 		r := Record{TS: ts, Op: OpPut, Key: key, Puts: []value.ColPut{{Col: int(col), Data: data}}}
 		buf := appendRec(nil, &r)
-		got, n := parseRecord(buf)
+		got, n := parseRecord(buf, false)
 		if n != len(buf) {
 			return false
 		}
@@ -247,7 +247,7 @@ func TestAppendPutBatchRoundTrip(t *testing.T) {
 		{{Col: 0, Data: []byte("vc")}},
 	}
 	ts := []uint64{3, 1, 2}
-	set.Writer(0).AppendPutBatch(keys, puts, ts, []bool{false, true, false})
+	set.Writer(0).AppendPutBatch(keys, puts, ts, []uint64{5, 0, 6}, []bool{false, true, false})
 	set.Close()
 	res, err := RecoverDir(dir)
 	if err != nil {
@@ -278,7 +278,7 @@ func TestFlushErrorRecorded(t *testing.T) {
 	set, _ := OpenSet(dir, 1, 1, false, time.Hour)
 	w := set.Writer(0)
 	w.f.Close() // sabotage the file: the next flush's write must fail
-	w.AppendPut(1, []byte("k"), []value.ColPut{{Col: 0, Data: []byte("v")}})
+	w.AppendPut(1, 0, []byte("k"), []value.ColPut{{Col: 0, Data: []byte("v")}})
 	if err := w.Flush(); err == nil {
 		t.Fatal("flush on a closed file should fail")
 	}
@@ -306,14 +306,14 @@ func TestAppendAllocFree(t *testing.T) {
 	// Warm both halves of the double buffer past the measured volume.
 	for round := 0; round < 2; round++ {
 		for i := 0; i < 300; i++ {
-			w.AppendPut(uint64(i), key, puts)
+			w.AppendPut(uint64(i), 0, key, puts)
 		}
 		if err := w.Flush(); err != nil {
 			t.Fatal(err)
 		}
 	}
 	allocs := testing.AllocsPerRun(200, func() {
-		w.AppendPut(7, key, puts)
+		w.AppendPut(7, 0, key, puts)
 	})
 	if allocs != 0 {
 		t.Fatalf("AppendPut allocates %.1f times per run, want 0", allocs)
@@ -327,12 +327,12 @@ func TestFlushFailureRetainsRecords(t *testing.T) {
 	dir := t.TempDir()
 	set, _ := OpenSet(dir, 1, 1, false, time.Hour)
 	w := set.Writer(0)
-	w.AppendPut(1, []byte("kept"), []value.ColPut{{Col: 0, Data: []byte("v1")}})
+	w.AppendPut(1, 0, []byte("kept"), []value.ColPut{{Col: 0, Data: []byte("v1")}})
 	w.f.Close() // device "fails"
 	if err := w.Flush(); err == nil {
 		t.Fatal("flush on a closed file should fail")
 	}
-	w.AppendPut(2, []byte("later"), []value.ColPut{{Col: 0, Data: []byte("v2")}})
+	w.AppendPut(2, 0, []byte("later"), []value.ColPut{{Col: 0, Data: []byte("v2")}})
 	if err := w.openFile(true); err != nil { // device "recovers"
 		t.Fatal(err)
 	}
@@ -361,7 +361,7 @@ func TestAppendAllocFreeAcrossFlushes(t *testing.T) {
 	puts := []value.ColPut{{Col: 0, Data: []byte("alloc-flush-column-data")}}
 	for round := 0; round < 2; round++ { // warm both buffer halves
 		for i := 0; i < 150; i++ {
-			w.AppendPut(uint64(i), key, puts)
+			w.AppendPut(uint64(i), 0, key, puts)
 		}
 		if err := w.Flush(); err != nil {
 			t.Fatal(err)
@@ -369,7 +369,7 @@ func TestAppendAllocFreeAcrossFlushes(t *testing.T) {
 	}
 	allocs := testing.AllocsPerRun(20, func() {
 		for i := 0; i < 100; i++ {
-			w.AppendPut(7, key, puts)
+			w.AppendPut(7, 0, key, puts)
 		}
 		if err := w.Flush(); err != nil {
 			t.Fatal(err)

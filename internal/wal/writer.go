@@ -172,20 +172,26 @@ func (w *Writer) kickIfBig(n int) {
 // AppendPut queues a put record, encoding it directly into the worker-owned
 // log buffer — no intermediate Record or payload allocation. It does not
 // block on storage; durability arrives with the next flush (group commit).
-func (w *Writer) AppendPut(ts uint64, key []byte, puts []value.ColPut) {
+//
+// prev is the version of the value the put was applied over, read under the
+// same border-lock critical section that drew ts. Pass prev == 0 only for a
+// chain anchor: a record whose puts carry every column of the value it
+// published, so replay can apply it as a replacement (see Record.Prev).
+func (w *Writer) AppendPut(ts, prev uint64, key []byte, puts []value.ColPut) {
 	w.mu.Lock()
-	w.buf = appendRecord(w.buf, ts, OpPut, key, puts, 0)
+	w.buf = appendRecord(w.buf, ts, prev, OpPut, key, puts, 0)
 	n := len(w.buf)
 	w.mu.Unlock()
 	w.kickIfBig(n)
 }
 
 // AppendPutTTL queues a put record carrying an expiry timestamp (see
-// OpPutTTL). Touch logs through here with the republished value's full
-// column set, so the record stands alone at replay.
-func (w *Writer) AppendPutTTL(ts uint64, key []byte, puts []value.ColPut, expiry uint64) {
+// OpPutTTL). prev is as in AppendPut; Touch logs through here with prev == 0
+// and the republished value's full column set, so the record is a chain
+// anchor and stands alone at replay.
+func (w *Writer) AppendPutTTL(ts, prev uint64, key []byte, puts []value.ColPut, expiry uint64) {
 	w.mu.Lock()
-	w.buf = appendRecord(w.buf, ts, OpPutTTL, key, puts, expiry)
+	w.buf = appendRecord(w.buf, ts, prev, OpPutTTL, key, puts, expiry)
 	n := len(w.buf)
 	w.mu.Unlock()
 	w.kickIfBig(n)
@@ -193,10 +199,10 @@ func (w *Writer) AppendPutTTL(ts uint64, key []byte, puts []value.ColPut, expiry
 
 // AppendInsert queues an insert record: a put that executed against an
 // absent or lazily-expired base and must replay as a replacement (see
-// OpInsert).
+// OpInsert). Inserts are chain anchors by op and carry no prev link.
 func (w *Writer) AppendInsert(ts uint64, key []byte, puts []value.ColPut) {
 	w.mu.Lock()
-	w.buf = appendRecord(w.buf, ts, OpInsert, key, puts, 0)
+	w.buf = appendRecord(w.buf, ts, 0, OpInsert, key, puts, 0)
 	n := len(w.buf)
 	w.mu.Unlock()
 	w.kickIfBig(n)
@@ -205,7 +211,7 @@ func (w *Writer) AppendInsert(ts uint64, key []byte, puts []value.ColPut) {
 // AppendInsertTTL is AppendInsert with an expiry timestamp.
 func (w *Writer) AppendInsertTTL(ts uint64, key []byte, puts []value.ColPut, expiry uint64) {
 	w.mu.Lock()
-	w.buf = appendRecord(w.buf, ts, OpInsertTTL, key, puts, expiry)
+	w.buf = appendRecord(w.buf, ts, 0, OpInsertTTL, key, puts, expiry)
 	n := len(w.buf)
 	w.mu.Unlock()
 	w.kickIfBig(n)
@@ -213,18 +219,20 @@ func (w *Writer) AppendInsertTTL(ts uint64, key []byte, puts []value.ColPut, exp
 
 // AppendPutBatch queues one put record per key under a single buffer-lock
 // acquisition — the logging counterpart of the tree's batched put. keys,
-// puts, ts, and insert are parallel arrays (insert may be nil: all
+// puts, ts, prev, and insert are parallel arrays (insert may be nil: all
 // updates); records are encoded in input order, so a key's records keep
 // their version order within this worker's log. insert[i] logs key i as
-// OpInsert (built on an absent base; replays as a replacement).
-func (w *Writer) AppendPutBatch(keys [][]byte, puts [][]value.ColPut, ts []uint64, insert []bool) {
+// OpInsert (built on an absent base; replays as a replacement); prev[i] is
+// as in AppendPut and is ignored for inserts.
+func (w *Writer) AppendPutBatch(keys [][]byte, puts [][]value.ColPut, ts, prev []uint64, insert []bool) {
 	w.mu.Lock()
 	for i := range keys {
 		op := OpPut
+		p := prev[i]
 		if insert != nil && insert[i] {
-			op = OpInsert
+			op, p = OpInsert, 0
 		}
-		w.buf = appendRecord(w.buf, ts[i], op, keys[i], puts[i], 0)
+		w.buf = appendRecord(w.buf, ts[i], p, op, keys[i], puts[i], 0)
 	}
 	n := len(w.buf)
 	w.mu.Unlock()
@@ -234,7 +242,7 @@ func (w *Writer) AppendPutBatch(keys [][]byte, puts [][]value.ColPut, ts []uint6
 // AppendRemove queues a remove record.
 func (w *Writer) AppendRemove(ts uint64, key []byte) {
 	w.mu.Lock()
-	w.buf = appendRecord(w.buf, ts, OpRemove, key, nil, 0)
+	w.buf = appendRecord(w.buf, ts, 0, OpRemove, key, nil, 0)
 	n := len(w.buf)
 	w.mu.Unlock()
 	w.kickIfBig(n)
@@ -245,15 +253,16 @@ func (w *Writer) AppendRemove(ts uint64, key []byte) {
 // been appended.
 func (w *Writer) AppendMark(ts uint64) {
 	w.mu.Lock()
-	w.buf = appendRecord(w.buf, ts, OpMark, nil, nil, 0)
+	w.buf = appendRecord(w.buf, ts, 0, OpMark, nil, nil, 0)
 	w.mu.Unlock()
 }
 
 // Append queues r in the log buffer; see AppendPut. Retained for callers
-// that already hold a Record (marks, tests).
+// that already hold a Record (marks, tests). r.Prev is written as given;
+// r.Unlinked is ignored — the writer always encodes format v2.
 func (w *Writer) Append(r *Record) {
 	w.mu.Lock()
-	w.buf = appendRecord(w.buf, r.TS, r.Op, r.Key, r.Puts, r.Expiry)
+	w.buf = appendRecord(w.buf, r.TS, r.Prev, r.Op, r.Key, r.Puts, r.Expiry)
 	n := len(w.buf)
 	w.mu.Unlock()
 	w.kickIfBig(n)
@@ -473,6 +482,12 @@ func OpenSetFS(fsys vfs.FS, dir string, n int, gen uint64, syncWrites bool, flus
 	for _, w := range s.writers {
 		w.dirSynced()
 	}
+	// The log files are durable; now (and only now) commit the expectation
+	// that recovery should find them (see logset.go).
+	if err := writeLogSet(fsys, dir, n, gen); err != nil {
+		s.Close()
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -506,6 +521,13 @@ func (s *Set) Rotate() (uint64, error) {
 	}
 	for _, w := range s.writers {
 		w.dirSynced()
+	}
+	// Advance the expected log set to the new generation now that the new
+	// files' directory entries are durable — and before the caller's
+	// checkpoint reclaims the old generation, so the expectation never
+	// names files a completed DropBefore has removed.
+	if err := writeLogSet(s.fsys, s.dir, len(s.writers), s.gen); err != nil {
+		return 0, err
 	}
 	return s.gen, nil
 }
