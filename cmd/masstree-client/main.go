@@ -28,6 +28,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -38,19 +39,21 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
 func main() {
 	var addr = flag.String("addr", "127.0.0.1:7500", "server address")
 	var addrs = flag.String("addrs", "", "comma-separated server addresses; with more than one, keys route by consistent hash (cluster mode)")
+	var jsonOut = flag.Bool("json", false, "stats: emit one JSON object (all keys, including raw histogram buckets) instead of grouped text")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
 		usage()
 	}
 	if *addrs != "" {
-		runCluster(strings.Split(*addrs, ","), args)
+		runCluster(strings.Split(*addrs, ","), args, *jsonOut)
 		return
 	}
 	c, err := client.Dial(*addr)
@@ -197,17 +200,7 @@ func main() {
 		defer conn.Close()
 		stats, err := conn.StatsRaw()
 		check(err)
-		// Print every metric the server reports, sorted, so new counters
-		// (bytes_live, evictions, expirations, ghost_hits, flush_errors,
-		// flush_last_error, ...) show up without client changes.
-		names := make([]string, 0, len(stats))
-		for name := range stats {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			fmt.Printf("%-18s %s\n", name, stats[name])
-		}
+		printStats(stats, *jsonOut)
 	default:
 		usage()
 	}
@@ -217,7 +210,7 @@ func main() {
 // each key is served by its consistent-hash owner, and stats aggregates
 // numeric counters across every reachable node. scan is refused — a range
 // query spans shards and the cluster layer does not merge ranges.
-func runCluster(addrs []string, args []string) {
+func runCluster(addrs []string, args []string, jsonOut bool) {
 	cl, err := cluster.New(cluster.Config{Addrs: addrs})
 	if err != nil {
 		log.Fatalf("masstree-client: %v", err)
@@ -338,18 +331,96 @@ func runCluster(addrs []string, args []string) {
 	case "stats":
 		agg, err := cl.StatsAggregate()
 		check(err)
-		names := make([]string, 0, len(agg))
-		for name := range agg {
-			names = append(names, name)
+		stats := make(map[string]string, len(agg))
+		for name, v := range agg {
+			stats[name] = strconv.FormatInt(v, 10)
 		}
-		sort.Strings(names)
-		for _, name := range names {
-			fmt.Printf("%-18s %d\n", name, agg[name])
-		}
+		printStats(stats, jsonOut)
 	case "scan":
 		log.Fatalf("masstree-client: scan is not supported in cluster mode (a range spans shards); point -addr at one node")
 	default:
 		usage()
+	}
+}
+
+// statsGroupOrder fixes the display order of subsystem groups: data-plane
+// layers first (tree out through backend), observability-derived latency
+// next, cluster health last.
+var statsGroupOrder = []string{"tree", "server", "cache", "logging", "backend", "latency", "cluster", "other"}
+
+// statsGroup maps a stat key to its subsystem group. Exact names are
+// matched before prefixes: node_deletes is a tree counter even though the
+// cluster's node<i>_* keys share its first four bytes.
+func statsGroup(name string) string {
+	switch name {
+	case "keys", "splits", "layer_creations", "layer_collapses", "node_deletes",
+		"root_retries", "local_retries", "slot_reuses":
+		return "tree"
+	case "batched_gets", "batched_puts", "errored_requests":
+		return "server"
+	case "bytes_live", "max_bytes", "evictions", "expirations", "ghost_hits", "admit_drops":
+		return "cache"
+	case "flush_errors", "flush_retries", "flush_last_error", "broken_chains", "missing_logs":
+		return "logging"
+	case "loads", "load_errors", "herd_coalesced", "stale_served", "negative_hits",
+		"breaker_state", "breaker_opens", "writebehind_depth", "writebehind_drops":
+		return "backend"
+	case "nodes_up", "nodes_total", "stats_partial",
+		"failovers", "hedges", "hedge_wins", "split_batches":
+		return "cluster"
+	}
+	switch {
+	case strings.HasPrefix(name, "lat_"):
+		return "latency"
+	case strings.HasPrefix(name, "node") && len(name) > 4 && name[4] >= '0' && name[4] <= '9':
+		return "cluster" // node<i>_state, node<i>_rpc_*
+	}
+	return "other"
+}
+
+// printStats renders a stats map grouped by subsystem (each group sorted)
+// or, with -json, as one JSON object carrying every key — including the
+// raw lat_*_b<i> histogram buckets the grouped view elides in favor of the
+// quantile summaries. Numeric values are emitted as JSON numbers so the
+// output pipes straight into jq arithmetic.
+func printStats(stats map[string]string, jsonOut bool) {
+	if jsonOut {
+		out := make(map[string]any, len(stats))
+		for k, v := range stats {
+			if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+				out[k] = n
+			} else {
+				out[k] = v
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(out))
+		return
+	}
+	groups := map[string][]string{}
+	for name := range stats {
+		if obs.IsBucketKey(name) {
+			continue // raw buckets: -json and /varz carry full histograms
+		}
+		g := statsGroup(name)
+		groups[g] = append(groups[g], name)
+	}
+	first := true
+	for _, g := range statsGroupOrder {
+		names := groups[g]
+		if len(names) == 0 {
+			continue
+		}
+		sort.Strings(names)
+		if !first {
+			fmt.Println()
+		}
+		first = false
+		fmt.Printf("[%s]\n", g)
+		for _, name := range names {
+			fmt.Printf("  %-22s %s\n", name, stats[name])
+		}
 	}
 }
 
@@ -376,7 +447,7 @@ func check(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: masstree-client [-addr host:port | -addrs a:7500,b:7500,...] COMMAND
+	fmt.Fprintln(os.Stderr, `usage: masstree-client [-addr host:port | -addrs a:7500,b:7500,...] [-json] COMMAND
   With -addrs, keys route to their consistent-hash owner across the listed
   nodes (cluster mode): get/put/putcol/cas/putttl/touch/getorload/del go to
   the key's owner, stats aggregates numeric counters across all reachable
@@ -395,7 +466,12 @@ func usage() {
                                resident value was served instead
   del KEY                      remove a key
   scan START N                 range query: up to N pairs from START
-  stats                        server statistics. Tree/batching counters,
+  stats                        server statistics, grouped by subsystem and
+                               sorted within each group; -json emits one
+                               JSON object instead (every key, including
+                               raw lat_*_b<i> histogram buckets).
+                               Tree/batching counters, latency quantiles
+                               (lat_<op>_p50/p90/p99/p999, nanoseconds),
                                cache mode (bytes_live, evictions, ...),
                                logging health (flush_errors, flush_retries,
                                flush_last_error), and the backend tier:

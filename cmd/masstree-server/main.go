@@ -9,6 +9,13 @@
 // -write-behind is set, and a failing backend degrades to stale-if-error
 // service behind a circuit breaker instead of hanging requests.
 //
+// With -admin the server additionally exposes an observability listener —
+// never on the data-plane port — serving /metrics (Prometheus text), /varz
+// (JSON stats + latency histograms), /flightrecorder (the merged trace of
+// internal transitions), and /debug/pprof/*. The admin endpoint and the
+// wire Stats op render from the same snapshot machinery, so a dashboard and
+// an old stats script cannot disagree.
+//
 // On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting,
 // gives connections -drain-timeout to finish, flushes the WAL, drains the
 // write-behind queue, takes a final checkpoint (when -data is set), and
@@ -23,9 +30,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -73,6 +83,9 @@ func run() int {
 
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second,
 			"graceful-shutdown budget for each drain step (connections, write-behind queue)")
+
+		adminAddr = flag.String("admin", "",
+			"admin HTTP listen address serving /metrics, /varz, /flightrecorder, /debug/pprof/* (empty = off)")
 	)
 	flag.Parse()
 
@@ -125,6 +138,24 @@ func run() int {
 	}
 	log.Printf("masstree-server: serving on %s (%d workers, data=%q)", srv.Addr(), *workers, *data)
 
+	var admin *http.Server
+	if *adminAddr != "" {
+		aln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			log.Printf("masstree-server: admin listen: %v", err)
+			srv.Close()
+			store.Close()
+			return 1
+		}
+		admin = &http.Server{Handler: srv.AdminMux()}
+		go func() {
+			if err := admin.Serve(aln); err != nil && err != http.ErrServerClosed {
+				log.Printf("masstree-server: admin: %v", err)
+			}
+		}()
+		log.Printf("masstree-server: admin endpoint on %s (/metrics /varz /flightrecorder /debug/pprof)", aln.Addr())
+	}
+
 	stopCkpt := make(chan struct{})
 	if *ckptEvery > 0 && *data != "" {
 		go func() {
@@ -149,6 +180,13 @@ func run() int {
 	<-sig
 	fmt.Fprintln(os.Stderr, "masstree-server: shutting down")
 	close(stopCkpt)
+	if admin != nil {
+		// The admin plane goes first: a scrape arriving mid-teardown would
+		// read a store being closed. Bounded like every other drain step.
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		admin.Shutdown(ctx)
+		cancel()
+	}
 	return shutdown(srv, store, *data != "", *drainTimeout)
 }
 

@@ -140,6 +140,35 @@
 // rejoin — see BENCH_cluster.json for the fan-out and hedged-p99 numbers.
 // masstree-client -addrs a,b,c routes the CLI through the same ring.
 //
+// Observability (internal/obs) makes the store explain itself without
+// perturbing what it explains. Every timed stage — get/put/batch/scan/
+// CAS/getorload server-side, WAL flush, checkpoint write, each recovery
+// phase, backend loads, eviction passes, cluster per-node RPC — records
+// into a log-bucketed latency histogram (64 power-of-two buckets; bucket b
+// covers [2^b, 2^(b+1)) ns) whose record path is one bits.Len64 and two
+// atomic adds into a per-worker cache-line-padded shard: ~14ns, zero
+// allocations (//masstree:noalloc, enforced by the noalloc analyzer and the
+// AllocsPerRun pins, which run with instrumentation armed — BENCH_obs.json
+// measures the end-to-end overhead as noise). Snapshots merge shards
+// lock-free and extract p50/p90/p99/p999. Alongside the histograms runs the
+// flight recorder: fixed-size per-worker rings of binary trace events for
+// internal transitions (breaker trips/heals, evictions, WAL flush retries
+// and errors, checkpoint steps, recovery chain-rollbacks, node health
+// changes), dumpable on demand — the torture harnesses dump it on first
+// failure, so a failed crash image ships its own story. The data surfaces
+// three ways, all rendered from the same snapshot so they cannot disagree:
+// the wire Stats op gains lat_<stage>_count/_sum/_p50/_p90/_p99/_p999 and
+// per-bucket lat_<stage>_b<i> keys (all base-10 integers — v1 clients that
+// ParseInt every value keep working, pinned by stats_compat_test);
+// cluster.StatsAggregate sums the bucket keys across nodes and re-derives
+// the quantiles from the merged distribution (never averaging per-node
+// quantiles, and labeling partial aggregates via stats_partial); and
+// masstree-server's opt-in -admin listener serves /metrics (hand-rolled
+// Prometheus text exposition), /varz (JSON with full histograms),
+// /flightrecorder, and stdlib /debug/pprof — never on the data-plane port.
+// masstree-client stats renders it grouped by subsystem, with -json for
+// machines.
+//
 // Everything under wal and checkpoint reaches the disk through internal/vfs,
 // an injectable filesystem seam. vfs.MemFS models crash consistency the way
 // a conservative POSIX filesystem behaves (unsynced file data is lost;
@@ -182,9 +211,10 @@
 // BENCH_*.json snapshots at the repository root (BENCH_pipeline.json,
 // BENCH_writepath.json, BENCH_pipeline_v2.json, BENCH_recovery.json,
 // BENCH_cache.json, BENCH_backend.json, BENCH_cluster.json,
-// BENCH_replaychain.json — read-path, write-path, pipelining, restart,
-// cache-mode, herd-coalescing, cluster fan-out/hedging, and chained-WAL
-// cost/recovery numbers respectively). The implementation lives under
+// BENCH_replaychain.json, BENCH_obs.json — read-path, write-path,
+// pipelining, restart, cache-mode, herd-coalescing, cluster
+// fan-out/hedging, chained-WAL cost/recovery, and instrumentation-overhead
+// numbers respectively). The implementation lives under
 // internal/; runnable entry points are under cmd/ and examples/
 // (examples/pipeline demonstrates the async client and CAS;
 // examples/cachefront the bounded cache; examples/readthrough the backend

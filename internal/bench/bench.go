@@ -149,10 +149,11 @@ var Registry = map[string]func(Scale) *Table{
 	"cluster": Cluster,
 
 	"replaychain": Replaychain,
+	"obs":         Obs,
 }
 
 // IDs lists experiment ids in presentation order.
-var IDs = []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "sec63", "sec64", "ckpt", "retry", "shape", "cache", "herd", "cluster", "replaychain"}
+var IDs = []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "sec63", "sec64", "ckpt", "retry", "shape", "cache", "herd", "cluster", "replaychain", "obs"}
 
 // All runs every experiment.
 func All(sc Scale) []*Table {

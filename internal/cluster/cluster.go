@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -118,6 +119,13 @@ type Cluster struct {
 
 	stats clusterCounters
 
+	// rpcHist shards per *node index* (not per worker): shard i is node i's
+	// RPC latency, so ShardSnapshot(i) answers "how slow is shard i" while
+	// Snapshot() answers "how slow is the cluster". rec traces node health
+	// transitions (Down/Probing/Up), one ring per node.
+	rpcHist *obs.Hist
+	rec     *obs.Recorder
+
 	stop chan struct{}
 	done chan struct{}
 }
@@ -133,11 +141,30 @@ func New(cfg Config) (*Cluster, error) {
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
-	for _, addr := range cfg.Addrs {
-		c.nodes = append(c.nodes, newNode(addr, &c.cfg))
+	c.rpcHist = obs.NewHist("rpc", len(cfg.Addrs))
+	c.rec = obs.NewRecorder(len(cfg.Addrs), 0)
+	for i, addr := range cfg.Addrs {
+		n := newNode(addr, &c.cfg)
+		n.idx = i
+		n.rec = c.rec
+		c.nodes = append(c.nodes, n)
 	}
 	go c.probeLoop()
 	return c, nil
+}
+
+// Recorder exposes the cluster's flight recorder: the timeline of node
+// health transitions (down/probing/up), one ring per node. Torture
+// harnesses dump it on first failure.
+func (c *Cluster) Recorder() *obs.Recorder { return c.rec }
+
+// RPCSnapshot copies node i's RPC latency histogram (the whole cluster's
+// for i < 0).
+func (c *Cluster) RPCSnapshot(i int) obs.HistSnapshot {
+	if i < 0 {
+		return c.rpcHist.Snapshot()
+	}
+	return c.rpcHist.ShardSnapshot(i)
 }
 
 // Close stops the probe loop and closes every pooled connection.
@@ -185,8 +212,10 @@ func (c *Cluster) exec(n *node, reqs []wire.Request) ([]wire.Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	p := conn.Go(reqs)
 	resps, err := p.Wait()
+	c.rpcHist.Record(n.idx, time.Since(start))
 	if err != nil {
 		p.Release()
 		n.feedback(conn, err)
@@ -284,8 +313,10 @@ func (c *Cluster) execFresh(n *node, reqs []wire.Request) ([]wire.Response, erro
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	p := conn.Go(reqs)
 	resps, err := p.Wait()
+	c.rpcHist.Record(n.idx, time.Since(start))
 	if err != nil {
 		p.Release()
 		conn.Close()

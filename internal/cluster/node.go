@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/obs"
 )
 
 // Node health states, reported numerically in stats (node<i>_state) so
@@ -39,6 +40,8 @@ var ErrNodeDown = fmt.Errorf("cluster: node down")
 type node struct {
 	addr string
 	cfg  *Config
+	idx  int           // node index in Config.Addrs order (stats, hist shard)
+	rec  *obs.Recorder // cluster flight recorder; health transitions trace here
 
 	state atomic.Int32
 
@@ -189,6 +192,7 @@ func (n *node) feedback(c *client.Conn, err error) {
 	}
 	if tripped {
 		n.trips.Add(1)
+		n.rec.Record(n.idx, obs.EvNodeDown, uint64(n.idx), n.trips.Load())
 	}
 }
 
@@ -204,6 +208,7 @@ func (n *node) probe() bool {
 	}
 	n.state.Store(NodeProbing)
 	n.mu.Unlock()
+	n.rec.Record(n.idx, obs.EvNodeProbing, uint64(n.idx), n.trips.Load())
 
 	c, err := client.DialConn(n.addr, n.dialOpts()...)
 	if err == nil {
@@ -235,6 +240,7 @@ func (n *node) probe() bool {
 	}
 	n.fails = 0
 	n.state.Store(NodeUp)
+	n.rec.Record(n.idx, obs.EvNodeUp, uint64(n.idx), n.trips.Load())
 	return true
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -62,9 +63,22 @@ func (c *Cluster) ClusterStats() Stats {
 // the numeric server metrics summed across nodes, plus the cluster-side
 // view: node<i>_state (numeric, 0/1/2 — same all-numeric rule as
 // breaker_state, so integer-parsing consumers never break; see
-// stats_compat_test.go's precedent), nodes_up, failovers, hedges,
-// hedge_wins, split_batches. Down nodes contribute only their state; the
-// call fails only if every node is unreachable.
+// stats_compat_test.go's precedent), nodes_up, nodes_total, stats_partial,
+// failovers, hedges, hedge_wins, split_batches, and the client-observed
+// per-node RPC latency (node<i>_rpc_count/_p50/_p99 plus merged lat_rpc_*
+// keys). Down nodes contribute only their state; the call fails only if
+// every node is unreachable.
+//
+// Two aggregation rules matter here. First, histogram-derived keys cannot
+// be summed like counters — adding two p99s is meaningless — so after the
+// summing pass the quantile and count keys are rebuilt from the summed
+// lat_*_b<i> bucket keys (obs.RecomputeQuantiles): the aggregate p99 is the
+// p99 of the merged distribution, not an average of per-node quantiles.
+// Second, a partial aggregate is *labeled*, never silently passed off as a
+// cluster total: stats_partial reports how many nodes did not contribute
+// (down, or failing mid-aggregate), so a consumer reading "keys" while a
+// shard is dark knows the number undercounts rather than concluding the
+// shard holds zero keys.
 func (c *Cluster) StatsAggregate() (map[string]int64, error) {
 	out := map[string]int64{}
 	reachable := 0
@@ -95,11 +109,26 @@ func (c *Cluster) StatsAggregate() (map[string]int64, error) {
 		}
 		return nil, lastErr
 	}
+	obs.RecomputeQuantiles(out)
 	out["nodes_up"] = int64(reachable)
+	out["nodes_total"] = int64(len(c.nodes))
+	out["stats_partial"] = int64(len(c.nodes) - reachable)
 	out["failovers"] = int64(c.stats.failovers.Load())
 	out["hedges"] = int64(c.stats.hedges.Load())
 	out["hedge_wins"] = int64(c.stats.hedgeWins.Load())
 	out["split_batches"] = int64(c.stats.splitBatches.Load())
+	// Client-observed RPC latency: merged keys under the lat_ prefix (the
+	// same shape as server histograms) and per-node quantiles from the
+	// node-sharded histogram.
+	for _, st := range obs.AppendStats(nil, c.rpcHist.Snapshot()) {
+		out[st.Name] = st.Value
+	}
+	for i := range c.nodes {
+		ns := c.rpcHist.ShardSnapshot(i)
+		out[fmt.Sprintf("node%d_rpc_count", i)] = int64(ns.Count())
+		out[fmt.Sprintf("node%d_rpc_p50", i)] = int64(ns.Quantile(0.50))
+		out[fmt.Sprintf("node%d_rpc_p99", i)] = int64(ns.Quantile(0.99))
+	}
 	return out, nil
 }
 

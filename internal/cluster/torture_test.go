@@ -188,7 +188,7 @@ func newTorture(t *testing.T, nWorkers, keysPer int, mods ...func(*Config)) *tor
 func (tor *torture) start() {
 	for v := range tor.nodes {
 		if _, _, _, err := tor.cl.Get(tor.keyOwnedBy(v), nil); err != nil {
-			tor.t.Fatalf("warm-up read against node %d: %v", v, err)
+			tor.fatalf("warm-up read against node %d: %v", v, err)
 		}
 	}
 	tor.baseline = runtime.NumGoroutine()
@@ -219,6 +219,16 @@ func (tor *torture) start() {
 // run lets the workload proceed under whatever faults are active.
 func (tor *torture) run(d time.Duration) { time.Sleep(d) }
 
+// fatalf fails the harness, dumping the cluster's flight recorder first:
+// the node-health timeline (every trip, probe, and recovery with
+// timestamps) is exactly the context a "never tripped" / "never healed"
+// failure needs, and it is unrecoverable after the process exits.
+func (tor *torture) fatalf(format string, args ...any) {
+	tor.t.Helper()
+	tor.t.Logf("cluster flight recorder at failure:\n%s", tor.cl.Recorder().DumpString())
+	tor.t.Fatalf(format, args...)
+}
+
 func (tor *torture) keyOwnedBy(v int) []byte {
 	for i := 0; ; i++ {
 		k := []byte(fmt.Sprintf("own-%d-%d", v, i))
@@ -235,7 +245,7 @@ func (tor *torture) waitTripped(v int, since uint64) {
 	deadline := time.Now().Add(10 * time.Second)
 	for tor.cl.ClusterStats().Nodes[v].Trips <= since {
 		if time.Now().After(deadline) {
-			tor.t.Fatalf("node %d never tripped", v)
+			tor.fatalf("node %d never tripped", v)
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
@@ -245,7 +255,7 @@ func (tor *torture) waitUp(v int) {
 	deadline := time.Now().Add(10 * time.Second)
 	for tor.cl.ClusterStats().Nodes[v].State != NodeUp {
 		if time.Now().After(deadline) {
-			tor.t.Fatalf("node %d never returned to Up", v)
+			tor.fatalf("node %d never returned to Up", v)
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
@@ -271,7 +281,7 @@ func (tor *torture) rebirth(v int) {
 	tor.nodes[v].srv.Close()
 	srv := server.New(tor.nodes[v].store, 2)
 	if err := srv.Listen("127.0.0.1:0"); err != nil {
-		tor.t.Fatalf("rebirth node %d: %v", v, err)
+		tor.fatalf("rebirth node %d: %v", v, err)
 	}
 	tor.t.Cleanup(func() { srv.Close() })
 	tor.nodes[v].srv = srv

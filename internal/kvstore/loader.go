@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -41,6 +42,11 @@ type loader struct {
 	herdCoalesced atomic.Uint64 // misses that joined an existing flight
 	staleServed   atomic.Uint64 // stale-if-error responses
 	negativeHits  atomic.Uint64 // misses answered by the negative cache
+
+	// lastBreaker is the breaker state the last load observed, so state
+	// transitions (trip, heal) become flight-recorder events without
+	// touching the backend wrapper's seam.
+	lastBreaker atomic.Int32
 }
 
 // flight is one in-progress backend load; waiters park on done.
@@ -116,9 +122,18 @@ func (l *loader) runFlight(ctx context.Context, ss *Session, key []byte) (*value
 			return l.install(ss, key, v.Cols(), v.ExpiresAt()), false, nil
 		}
 	}
+	var loadStart time.Time
+	if l.s.obs != nil {
+		loadStart = time.Now()
+	}
 	payload, ttl, ok, err := l.be.Load(ctx, key)
+	if l.s.obs != nil {
+		l.s.obs.Hist(obs.HBackendLoad).Record(ss.worker, time.Since(loadStart))
+		l.noteBreaker(ss.worker)
+	}
 	if err != nil {
 		l.loadErrors.Add(1)
+		l.s.obs.Recorder().Record(ss.worker, obs.EvLoadError, obs.KeyHash(key), 0)
 		if v, _, ok := l.resident(ss, key, true); ok {
 			l.staleServed.Add(1)
 			return v, true, nil
@@ -141,6 +156,27 @@ func (l *loader) runFlight(ctx context.Context, ss *Session, key []byte) (*value
 	v := l.install(ss, key, cols, expiresAt)
 	l.loads.Add(1)
 	return v, false, nil
+}
+
+// noteBreaker traces a breaker state change since the last load observed
+// it: a trip into BreakerOpen and a heal out of it both become flight
+// events, detected by state comparison so the backend wrapper's seam stays
+// untouched. Called only with obs armed, after each backend load.
+func (l *loader) noteBreaker(worker int) {
+	bs, ok := l.be.(interface{ Stats() backend.Stats })
+	if !ok {
+		return
+	}
+	st := bs.Stats()
+	prev := l.lastBreaker.Swap(int32(st.BreakerState))
+	if prev == int32(st.BreakerState) {
+		return
+	}
+	if st.BreakerState == backend.BreakerOpen {
+		l.s.obs.Recorder().Record(worker, obs.EvBreakerOpen, st.BreakerOpens, 0)
+	} else {
+		l.s.obs.Recorder().Record(worker, obs.EvBreakerHeal, uint64(st.BreakerState), 0)
+	}
 }
 
 // resident checks the tree for a servable value under the session's epoch.

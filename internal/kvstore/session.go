@@ -28,6 +28,11 @@ func (s *Store) Session(worker int) *Session {
 	return &Session{s: s, worker: worker, h: s.mgr.Register()}
 }
 
+// Worker reports the worker id the session is bound to — the index of the
+// log stream its puts append to, and the shard its latency observations
+// land in.
+func (ss *Session) Worker() int { return ss.worker }
+
 // Close unregisters the session from the epoch manager.
 func (ss *Session) Close() {
 	ss.s.mgr.Unregister(ss.h)

@@ -40,6 +40,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/epoch"
+	"repro/internal/obs"
 	"repro/internal/value"
 	"repro/internal/vfs"
 	"repro/internal/wal"
@@ -98,6 +99,12 @@ type Config struct {
 	// asynchronously, coalescing per key, dropping the oldest entry (and
 	// counting the drop) when full. 0 disables write-behind.
 	WriteBehind int
+	// NoObs disables the observability subsystem (the per-worker latency
+	// histograms and the flight recorder, see internal/obs). Instrumentation
+	// is on by default: its record paths are allocation-free and wait-free,
+	// and the alloc pins and the obs bench experiment both run with it
+	// armed. Turning it off exists for measuring its own overhead.
+	NoObs bool
 }
 
 // Pair is one key plus requested columns, returned by GetRange.
@@ -151,6 +158,11 @@ type Store struct {
 
 	ckptMu sync.Mutex // one checkpoint at a time
 
+	// obs is the observability registry: latency histograms for every
+	// internal stage plus the flight recorder. Nil when Config.NoObs — and
+	// every record site tolerates that, so "off" costs one nil check.
+	obs *obs.Registry
+
 	// recovered is what Open's recovery observed; immutable afterwards.
 	recovered RecoveryStats
 
@@ -176,6 +188,21 @@ type RecoveryStats struct {
 // RecoveryStats reports what the last Open's recovery observed.
 func (s *Store) RecoveryStats() RecoveryStats { return s.recovered }
 
+// Obs returns the store's observability registry — latency histograms and
+// the flight recorder. Nil when Config.NoObs; obs instruments are nil-safe,
+// so callers may chain without checking (s.Obs().Hist(...).Record(...)).
+func (s *Store) Obs() *obs.Registry { return s.obs }
+
+// obsRecoveryPhase records one recovery phase: its duration lands in the
+// recovery histogram and as a flight-recorder event, and the phase clock
+// advances so the next phase measures only itself.
+func (s *Store) obsRecoveryPhase(phase uint64, start *time.Time) {
+	d := time.Since(*start)
+	*start = time.Now()
+	s.obs.Hist(obs.HRecovery).Record(0, d)
+	s.obs.Recorder().Record(0, obs.EvRecoveryPhase, phase, uint64(d))
+}
+
 // Open creates a store, recovering from the newest valid checkpoint plus
 // logs when cfg.Dir holds a previous incarnation's state.
 func Open(cfg Config) (*Store, error) {
@@ -199,6 +226,11 @@ func Open(cfg Config) (*Store, error) {
 	}
 	if s.fsys == nil {
 		s.fsys = vfs.OS{}
+	}
+	if !cfg.NoObs {
+		// Built before recovery so the recovery phases are themselves timed
+		// and replay's chain rollbacks land in the flight recorder.
+		s.obs = obs.NewRegistry(cfg.Workers)
 	}
 	if cfg.Dir != "" {
 		if err := s.fsys.MkdirAll(cfg.Dir, 0o755); err != nil {
@@ -258,11 +290,13 @@ func (s *Store) seedCache() {
 // clock, and opens a fresh log generation (never appending to a file that
 // may end in a torn record).
 func (s *Store) recover() error {
+	phase := time.Now()
 	var maxVersion atomic.Uint64
 	ckptTS, fromManifest, err := s.loadCheckpoint(&maxVersion)
 	if err != nil && err != checkpoint.ErrNone {
 		return fmt.Errorf("kvstore: loading checkpoint: %w", err)
 	}
+	s.obsRecoveryPhase(obs.RecPhaseCheckpoint, &phase)
 	// Only manifest-format checkpoints were written under CheckpointN's
 	// synchronize-and-drain protocol, the precondition for treating every
 	// record at or below the checkpoint timestamp as fully reflected in
@@ -284,6 +318,7 @@ func (s *Store) recover() error {
 	if err != nil {
 		return fmt.Errorf("kvstore: scanning logs: %w", err)
 	}
+	s.obsRecoveryPhase(obs.RecPhaseLogParse, &phase)
 	// Chain-validated replay: each key's records arrive in increasing TS
 	// order, and a linked (v2, non-anchor) record merges only when its prev
 	// link matches the state replay rebuilt. A mismatch means the record's
@@ -333,10 +368,15 @@ func (s *Store) recover() error {
 		}
 		if broken {
 			brokenChains.Add(1)
+			s.obs.Recorder().Record(int(recs[0].Worker), obs.EvChainBreak, obs.KeyHash(recs[0].Key), 0)
 		}
 	})
+	s.obsRecoveryPhase(obs.RecPhaseReplay, &phase)
 	s.recovered.BrokenChains = brokenChains.Load()
 	s.recovered.MissingLogs = int64(res.MissingLogs)
+	if res.MissingLogs > 0 {
+		s.obs.Recorder().Record(0, obs.EvLogMissing, uint64(res.MissingLogs), 0)
+	}
 	// Seed the clocks past everything the previous incarnation could have
 	// issued: replayed log timestamps, checkpointed value versions, and the
 	// checkpoint's own start timestamp. The last matters when removes (whose
@@ -356,6 +396,7 @@ func (s *Store) recover() error {
 	if err != nil {
 		return err
 	}
+	logs.Observe(s.obs.Hist(obs.HWALFlush), s.obs.Recorder())
 	s.logs = logs
 	return nil
 }
@@ -491,6 +532,10 @@ func (s *Store) cacheMaintain() {
 	if !s.ttlUsed.Load() && !s.cache.EvictionEnabled() {
 		return
 	}
+	if h := s.obs.Hist(obs.HEvict); h != nil {
+		start := time.Now()
+		defer func() { h.Record(0, time.Since(start)) }()
+	}
 	s.evictH.Enter()
 	defer s.evictH.Exit()
 	if s.ttlUsed.Load() {
@@ -536,6 +581,7 @@ func (s *Store) evictKey(key []byte) bool {
 	})
 	if ok {
 		s.cache.Account(-1, delta)
+		s.obs.Recorder().Record(0, obs.EvEvict, obs.KeyHash(key), uint64(-delta))
 		if spill != nil {
 			s.wb.enqueue(key, spill)
 		}
@@ -616,6 +662,7 @@ func (s *Store) sweepExpired(now int64) int {
 	}
 	if dropped != 0 {
 		s.cache.NoteExpirations(dropped)
+		s.obs.Recorder().Record(0, obs.EvExpire, uint64(dropped), 0)
 	}
 	return int(dropped)
 }
@@ -1368,6 +1415,7 @@ func (s *Store) CheckpointN(parts int) (path string, n int, err error) {
 	}
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
+	ckptStart := time.Now()
 	if parts <= 0 {
 		parts = runtime.GOMAXPROCS(0)
 	}
@@ -1396,6 +1444,7 @@ func (s *Store) CheckpointN(parts int) (path string, n int, err error) {
 	// version-guard against), while everything above startTS replays
 	// normally.
 	startTS := s.clock.synchronize()
+	s.obs.Recorder().Record(0, obs.EvCkptBegin, startTS, uint64(parts))
 	for w := range s.workerMu {
 		mu := &s.workerMu[w]
 		mu.Lock()
@@ -1438,6 +1487,10 @@ func (s *Store) CheckpointN(parts int) (path string, n int, err error) {
 	if err != nil {
 		return "", 0, err
 	}
+	// WriteParts' directory sync was the commit point: record the commit and
+	// the whole write's latency before moving on to reclamation.
+	s.obs.Hist(obs.HCheckpoint).Record(0, time.Since(ckptStart))
+	s.obs.Recorder().Record(0, obs.EvCkptCommit, startTS, uint64(n))
 	path = filepath.Join(s.cfg.Dir, checkpoint.ManifestName(startTS))
 	// The WriteParts directory sync above is the commit point; only now is
 	// it safe to reclaim the state the new checkpoint supersedes.

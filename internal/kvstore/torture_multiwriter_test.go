@@ -34,7 +34,7 @@ func (tt *torture) putW(worker int, key string, puts ...value.ColPut) {
 	ver := tt.s.Put(worker, []byte(key), puts)
 	cols, ok := tt.s.Get([]byte(key), nil)
 	if !ok {
-		tt.t.Fatalf("key %q vanished right after put", key)
+		fatalDump(tt.t, tt.s, "key %q vanished right after put", key)
 	}
 	h.states = append(h.states, kvState{ver: ver, data: joinCols(cols)})
 	h.dropped = false
@@ -129,7 +129,7 @@ func (tt *torture) verifyVanished(img *vfs.MemFS, vanished int, label string) {
 	r.Tree().Scan(nil, func(k []byte, v *value.Value) bool {
 		h := tt.hist[string(k)]
 		if h == nil {
-			t.Fatalf("%s: recovered key %q that was never written", label, k)
+			fatalDump(t, r, "%s: recovered key %q that was never written", label, k)
 		}
 		idx := -1
 		for j, st := range h.states {
@@ -139,10 +139,10 @@ func (tt *torture) verifyVanished(img *vfs.MemFS, vanished int, label string) {
 			}
 		}
 		if idx < 0 {
-			t.Fatalf("%s: key %q recovered at version %d, matching no applied state", label, k, v.Version())
+			fatalDump(t, r, "%s: key %q recovered at version %d, matching no applied state", label, k, v.Version())
 		}
 		if got := joinCols(v.Cols()); got != h.states[idx].data {
-			t.Fatalf("%s: key %q version %d recovered %q, applied state was %q (mis-merged)",
+			fatalDump(t, r, "%s: key %q version %d recovered %q, applied state was %q (mis-merged)",
 				label, k, v.Version(), got, h.states[idx].data)
 		}
 		if idx < h.acked {
@@ -170,7 +170,7 @@ func (tt *torture) verifyVanished(img *vfs.MemFS, vanished int, label string) {
 		}
 	}
 	if rolledBack && stats.BrokenChains == 0 && stats.MissingLogs == 0 {
-		t.Fatalf("%s: state rolled back below an acknowledged write with no broken_chains/missing_logs accounting", label)
+		fatalDump(t, r, "%s: state rolled back below an acknowledged write with no broken_chains/missing_logs accounting", label)
 	}
 }
 

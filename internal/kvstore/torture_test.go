@@ -58,6 +58,16 @@ type torture struct {
 
 const tortureDir = "/data"
 
+// fatalDump fails the run after dumping the store's flight recorder: the
+// event timeline (recovery phases, chain rollbacks, missing logs, eviction
+// decisions) is the post-mortem context a torture invariant violation
+// needs, and it is gone once the process exits.
+func fatalDump(t *testing.T, s *Store, format string, args ...any) {
+	t.Helper()
+	t.Logf("store flight recorder at failure:\n%s", s.Obs().Recorder().DumpString())
+	t.Fatalf(format, args...)
+}
+
 func joinCols(cols [][]byte) string {
 	parts := make([]string, len(cols))
 	for i, c := range cols {
@@ -83,7 +93,7 @@ func (tt *torture) put(key string, puts ...value.ColPut) {
 	ver := tt.s.Put(h.worker, []byte(key), puts)
 	cols, ok := tt.s.Get([]byte(key), nil)
 	if !ok {
-		tt.t.Fatalf("key %q vanished right after put", key)
+		fatalDump(tt.t, tt.s, "key %q vanished right after put", key)
 	}
 	h.states = append(h.states, kvState{ver: ver, data: joinCols(cols)})
 	h.dropped = false // present again, whatever a maintenance pass did before
@@ -193,7 +203,7 @@ func (tt *torture) verify(img *vfs.MemFS, label string) {
 	r.Tree().Scan(nil, func(k []byte, v *value.Value) bool {
 		h := tt.hist[string(k)]
 		if h == nil {
-			t.Fatalf("%s: recovered key %q that was never written", label, k)
+			fatalDump(t, r, "%s: recovered key %q that was never written", label, k)
 		}
 		idx := -1
 		for j, st := range h.states {
@@ -203,14 +213,14 @@ func (tt *torture) verify(img *vfs.MemFS, label string) {
 			}
 		}
 		if idx < 0 {
-			t.Fatalf("%s: key %q recovered at version %d, matching no applied state", label, k, v.Version())
+			fatalDump(t, r, "%s: key %q recovered at version %d, matching no applied state", label, k, v.Version())
 		}
 		if got := joinCols(v.Cols()); got != h.states[idx].data {
-			t.Fatalf("%s: key %q version %d recovered %q, applied state was %q (mixed state)",
+			fatalDump(t, r, "%s: key %q version %d recovered %q, applied state was %q (mixed state)",
 				label, k, v.Version(), got, h.states[idx].data)
 		}
 		if idx < h.acked {
-			t.Fatalf("%s: key %q recovered state %d older than acknowledged state %d (lost ack)",
+			fatalDump(t, r, "%s: key %q recovered state %d older than acknowledged state %d (lost ack)",
 				label, k, idx, h.acked)
 		}
 		return true
@@ -230,7 +240,7 @@ func (tt *torture) verify(img *vfs.MemFS, label string) {
 			}
 		}
 		if !lostOK {
-			t.Fatalf("%s: acknowledged key %q lost (acked state %d of %d)", label, k, h.acked, len(h.states))
+			fatalDump(t, r, "%s: acknowledged key %q lost (acked state %d of %d)", label, k, h.acked, len(h.states))
 		}
 	}
 }

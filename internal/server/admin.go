@@ -1,0 +1,118 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// AdminMux returns the server's admin HTTP handler. It is opt-in
+// (masstree-server wires it up only under -admin) and never shares a
+// listener with the data plane:
+//
+//	/metrics         Prometheus text exposition: every numeric stat as a
+//	                 gauge plus full latency histograms with bucket bounds
+//	/varz            the same snapshot as JSON, histograms with quantiles
+//	                 and non-zero buckets broken out
+//	/flightrecorder  the merged flight-recorder timeline as text
+//	/debug/pprof/*   the stdlib profiling endpoints
+//
+// /metrics, /varz, and the wire Stats op all render from one collectStats
+// pass, so a value scraped from any of the three means the same thing.
+func (s *Server) AdminMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/varz", s.handleVarz)
+	mux.HandleFunc("/flightrecorder", s.handleFlightRecorder)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// handleMetrics renders the stats snapshot in Prometheus text exposition
+// format, hand-rolled (the module stays dependency-free). Counters and
+// quantile keys become masstree_<name> gauges; each latency histogram is
+// additionally emitted as a classic cumulative-bucket histogram (the raw
+// lat_*_b<i> keys are skipped as gauges — the histogram blocks carry the
+// same counts with proper le bounds).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	stats, snaps := s.collectStats()
+	for _, st := range stats {
+		if obs.IsBucketKey(st.Name) {
+			continue
+		}
+		io.WriteString(w, "masstree_"+st.Name+" "+strconv.FormatInt(st.Value, 10)+"\n")
+	}
+	for _, hs := range snaps {
+		obs.WriteProm(w, hs)
+	}
+}
+
+// varzHist is one histogram in the /varz JSON document.
+type varzHist struct {
+	Count uint64 `json:"count"`
+	SumNS uint64 `json:"sum_ns"`
+	Mean  uint64 `json:"mean_ns"`
+	P50   uint64 `json:"p50_ns"`
+	P90   uint64 `json:"p90_ns"`
+	P99   uint64 `json:"p99_ns"`
+	P999  uint64 `json:"p999_ns"`
+	// Buckets lists non-zero buckets as [low bound ns, count] pairs.
+	Buckets [][2]uint64 `json:"buckets,omitempty"`
+}
+
+// handleVarz renders the stats snapshot as one JSON document: the flat
+// numeric stats map (the exact keys the wire Stats op serves) plus each
+// latency histogram broken out with quantiles and non-zero buckets. Both
+// sections derive from the same collectStats pass, so varz quantiles always
+// equal the lat_*_p* keys beside them.
+func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	stats, snaps := s.collectStats()
+	doc := struct {
+		Stats          map[string]int64    `json:"stats"`
+		Hists          map[string]varzHist `json:"hists"`
+		FlushLastError string              `json:"flush_last_error,omitempty"`
+	}{Stats: make(map[string]int64, len(stats)), Hists: make(map[string]varzHist, len(snaps))}
+	for _, st := range stats {
+		doc.Stats[st.Name] = st.Value
+	}
+	for _, hs := range snaps {
+		vh := varzHist{
+			Count: hs.Count(),
+			SumNS: hs.Sum,
+			Mean:  hs.Mean(),
+			P50:   hs.Quantile(0.50),
+			P90:   hs.Quantile(0.90),
+			P99:   hs.Quantile(0.99),
+			P999:  hs.Quantile(0.999),
+		}
+		for b := 0; b < obs.NumBuckets; b++ {
+			if hs.Buckets[b] != 0 {
+				vh.Buckets = append(vh.Buckets, [2]uint64{obs.BucketLow(b), hs.Buckets[b]})
+			}
+		}
+		doc.Hists[hs.Name] = vh
+	}
+	if _, last := s.store.FlushStats(); last != nil {
+		doc.FlushLastError = last.Error()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
+// handleFlightRecorder dumps the merged flight-recorder timeline, oldest
+// event first, one line per event.
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, s.obs.Recorder().DumpString())
+}

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/kvstore"
+	"repro/internal/obs"
 	"repro/internal/value"
 	"repro/internal/wire"
 )
@@ -52,6 +53,7 @@ import (
 // Server serves a kvstore over TCP.
 type Server struct {
 	store *kvstore.Store
+	obs   *obs.Registry // the store's registry; nil when observability is off
 	ln    net.Listener
 
 	nextWorker atomic.Int64
@@ -81,7 +83,7 @@ func New(store *kvstore.Store, workers int) *Server {
 	if workers <= 0 {
 		workers = 1
 	}
-	return &Server{store: store, workers: workers, conns: map[net.Conn]struct{}{}}
+	return &Server{store: store, obs: store.Obs(), workers: workers, conns: map[net.Conn]struct{}{}}
 }
 
 // Listen starts accepting connections on addr ("host:port"; ":0" picks a
@@ -396,7 +398,14 @@ func (s *Server) executeBatch(sess *kvstore.Session, reqs []wire.Request, claime
 
 // executeGetRun serves a run of OpGet requests through Session.GetBatchInto
 // (§4.8). Response columns are appended to sc.cols, a per-message arena.
+// The whole run lands as one observation in the get_batch histogram: the
+// run is the unit the batched path amortizes over, and a single time.Now
+// pair per run keeps the instrumentation off the per-key path.
 func (s *Server) executeGetRun(sess *kvstore.Session, reqs []wire.Request, resps []wire.Response, sc *connScratch) {
+	var runStart time.Time
+	if s.obs != nil {
+		runStart = time.Now()
+	}
 	sc.keys = sc.keys[:0]
 	for i := range reqs {
 		sc.keys = append(sc.keys, reqs[i].Key)
@@ -413,6 +422,9 @@ func (s *Server) executeGetRun(sess *kvstore.Session, reqs []wire.Request, resps
 		resps[i] = wire.Response{Status: wire.StatusOK, Version: vals[i].Version(),
 			Cols: sc.cols[start:len(sc.cols):len(sc.cols)]}
 	}
+	if s.obs != nil {
+		s.obs.Hist(obs.HGetBatch).Record(sess.Worker(), time.Since(runStart))
+	}
 }
 
 // executePutRun serves a run of OpPut requests through Session.PutBatchInto
@@ -420,8 +432,12 @@ func (s *Server) executeGetRun(sess *kvstore.Session, reqs []wire.Request, resps
 // share one border-node lock acquisition, and all log records are encoded
 // under one log-buffer lock. The decoded put data still aliases the frame —
 // the store copies it into the packed value and the log, so no per-put copy
-// is made here.
+// is made here. Like the get run, the run is one put_batch observation.
 func (s *Server) executePutRun(sess *kvstore.Session, reqs []wire.Request, resps []wire.Response, sc *connScratch) {
+	var runStart time.Time
+	if s.obs != nil {
+		runStart = time.Now()
+	}
 	sc.keys = sc.keys[:0]
 	sc.puts = sc.puts[:0]
 	sc.putRuns = sc.putRuns[:0]
@@ -440,11 +456,47 @@ func (s *Server) executePutRun(sess *kvstore.Session, reqs []wire.Request, resps
 	for i := range reqs {
 		resps[i] = wire.Response{Status: wire.StatusOK, Version: vers[i]}
 	}
+	if s.obs != nil {
+		s.obs.Hist(obs.HPutBatch).Record(sess.Worker(), time.Since(runStart))
+	}
 }
 
-// execute serves one request. Responses may alias sc's arenas and the
-// request's frame buffer; they are valid until the next message.
+// histForOp maps a wire op to its server-side latency histogram; ok is
+// false for ops that are not timed (Stats itself, Remove, unknown ops).
+// PutTTL and Touch fold into the put histogram: they take the same write
+// path and the cardinality stays the v1 set the ISSUE names.
+func histForOp(op wire.OpCode) (obs.HistID, bool) {
+	switch op {
+	case wire.OpGet:
+		return obs.HGet, true
+	case wire.OpPut, wire.OpPutTTL, wire.OpTouch:
+		return obs.HPut, true
+	case wire.OpCas:
+		return obs.HCas, true
+	case wire.OpGetOrLoad:
+		return obs.HGetOrLoad, true
+	case wire.OpGetRange:
+		return obs.HScan, true
+	}
+	return 0, false
+}
+
+// execute serves one request, timing it into the op's latency histogram.
+// Responses may alias sc's arenas and the request's frame buffer; they are
+// valid until the next message.
 func (s *Server) execute(sess *kvstore.Session, r *wire.Request, sc *connScratch, ttlOK bool) wire.Response {
+	if s.obs != nil {
+		if id, ok := histForOp(r.Op); ok {
+			start := time.Now()
+			resp := s.executeOp(sess, r, sc, ttlOK)
+			s.obs.Hist(id).Record(sess.Worker(), time.Since(start))
+			return resp
+		}
+	}
+	return s.executeOp(sess, r, sc, ttlOK)
+}
+
+func (s *Server) executeOp(sess *kvstore.Session, r *wire.Request, sc *connScratch, ttlOK bool) wire.Response {
 	switch r.Op {
 	case wire.OpGet:
 		// Gets report the value's version so clients can chain OpCas off a
@@ -572,54 +624,74 @@ func expiryFromTTL(ttl uint32) uint64 {
 // admit_drops are the cache-mode counters (zero unless MaxBytes/TTLs are in
 // use).
 func (s *Server) statsResponse(v2 bool) wire.Response {
-	st := s.store.Stats()
-	cs := s.store.CacheStats()
-	flushErrs, flushLast := s.store.FlushStats()
-	metric := func(name string, v int64) wire.Pair {
-		return wire.Pair{Key: []byte(name), Cols: [][]byte{[]byte(strconv.FormatInt(v, 10))}}
+	stats, _ := s.collectStats()
+	pairs := make([]wire.Pair, 0, len(stats)+1)
+	for _, m := range stats {
+		pairs = append(pairs, wire.Pair{Key: []byte(m.Name),
+			Cols: [][]byte{[]byte(strconv.FormatInt(m.Value, 10))}})
 	}
-	pairs := []wire.Pair{
-		metric("keys", int64(s.store.Len())),
-		metric("splits", st.Splits),
-		metric("layer_creations", st.LayerCreations),
-		metric("layer_collapses", st.LayerCollapses),
-		metric("node_deletes", st.NodeDeletes),
-		metric("root_retries", st.RootRetries),
-		metric("local_retries", st.LocalRetries),
-		metric("slot_reuses", st.SlotReuses),
-		metric("batched_gets", s.batchedGets.Load()),
-		metric("batched_puts", s.batchedPuts.Load()),
-		metric("errored_requests", s.erroredRequests.Load()),
-		metric("bytes_live", cs.BytesLive),
-		metric("max_bytes", s.store.MaxBytes()),
-		metric("evictions", cs.Evictions),
-		metric("expirations", cs.Expirations),
-		metric("ghost_hits", cs.GhostHits),
-		metric("admit_drops", cs.AdmitDrops),
-		metric("flush_errors", flushErrs),
-		metric("flush_retries", s.store.FlushRetries()),
-		metric("broken_chains", s.store.RecoveryStats().BrokenChains),
-		metric("missing_logs", s.store.RecoveryStats().MissingLogs),
-	}
-	// Backend-tier health (all numeric, so v1 clients that integer-parse
-	// every stat stay happy): zero-valued when no backend is configured.
-	ls := s.store.LoaderStats()
-	pairs = append(pairs,
-		metric("loads", int64(ls.Loads)),
-		metric("load_errors", int64(ls.LoadErrors)),
-		metric("herd_coalesced", int64(ls.HerdCoalesced)),
-		metric("stale_served", int64(ls.StaleServed)),
-		metric("negative_hits", int64(ls.NegativeHits)),
-		metric("breaker_state", int64(ls.Backend.BreakerState)),
-		metric("breaker_opens", int64(ls.Backend.BreakerOpens)),
-		metric("writebehind_depth", int64(ls.WriteBehindDepth)),
-		metric("writebehind_drops", int64(ls.WriteBehindDrops)),
-	)
-	if v2 && flushLast != nil {
-		pairs = append(pairs, wire.Pair{Key: []byte("flush_last_error"),
-			Cols: [][]byte{[]byte(flushLast.Error())}})
+	if v2 {
+		if _, flushLast := s.store.FlushStats(); flushLast != nil {
+			pairs = append(pairs, wire.Pair{Key: []byte("flush_last_error"),
+				Cols: [][]byte{[]byte(flushLast.Error())}})
+		}
 	}
 	return wire.Response{Status: wire.StatusOK, Pairs: pairs}
+}
+
+// collectStats gathers every numeric stat the server exports — store and
+// tree counters, server batching counters, backend-tier health, and the
+// histogram-derived latency keys — into one byte-wise sorted slice, along
+// with the histogram snapshots the latency keys were derived from. The wire
+// Stats op, /metrics, and /varz all render from this single collector, so
+// the three surfaces cannot disagree about a key's meaning or its value's
+// derivation; the returned snapshots let the admin handlers expose full
+// bucket detail that provably matches the quantile keys.
+func (s *Server) collectStats() ([]obs.Stat, []obs.HistSnapshot) {
+	st := s.store.Stats()
+	cs := s.store.CacheStats()
+	flushErrs, _ := s.store.FlushStats()
+	ls := s.store.LoaderStats()
+	stats := []obs.Stat{
+		{Name: "keys", Value: int64(s.store.Len())},
+		{Name: "splits", Value: st.Splits},
+		{Name: "layer_creations", Value: st.LayerCreations},
+		{Name: "layer_collapses", Value: st.LayerCollapses},
+		{Name: "node_deletes", Value: st.NodeDeletes},
+		{Name: "root_retries", Value: st.RootRetries},
+		{Name: "local_retries", Value: st.LocalRetries},
+		{Name: "slot_reuses", Value: st.SlotReuses},
+		{Name: "batched_gets", Value: s.batchedGets.Load()},
+		{Name: "batched_puts", Value: s.batchedPuts.Load()},
+		{Name: "errored_requests", Value: s.erroredRequests.Load()},
+		{Name: "bytes_live", Value: cs.BytesLive},
+		{Name: "max_bytes", Value: s.store.MaxBytes()},
+		{Name: "evictions", Value: cs.Evictions},
+		{Name: "expirations", Value: cs.Expirations},
+		{Name: "ghost_hits", Value: cs.GhostHits},
+		{Name: "admit_drops", Value: cs.AdmitDrops},
+		{Name: "flush_errors", Value: flushErrs},
+		{Name: "flush_retries", Value: s.store.FlushRetries()},
+		{Name: "broken_chains", Value: s.store.RecoveryStats().BrokenChains},
+		{Name: "missing_logs", Value: s.store.RecoveryStats().MissingLogs},
+		// Backend-tier health (all numeric, so v1 clients that integer-parse
+		// every stat stay happy): zero-valued when no backend is configured.
+		{Name: "loads", Value: int64(ls.Loads)},
+		{Name: "load_errors", Value: int64(ls.LoadErrors)},
+		{Name: "herd_coalesced", Value: int64(ls.HerdCoalesced)},
+		{Name: "stale_served", Value: int64(ls.StaleServed)},
+		{Name: "negative_hits", Value: int64(ls.NegativeHits)},
+		{Name: "breaker_state", Value: int64(ls.Backend.BreakerState)},
+		{Name: "breaker_opens", Value: int64(ls.Backend.BreakerOpens)},
+		{Name: "writebehind_depth", Value: int64(ls.WriteBehindDepth)},
+		{Name: "writebehind_drops", Value: int64(ls.WriteBehindDrops)},
+	}
+	snaps := s.obs.Snapshots()
+	for _, hs := range snaps {
+		stats = obs.AppendStats(stats, hs)
+	}
+	obs.SortStats(stats)
+	return stats, snaps
 }
 
 // Shutdown stops the server gracefully: it stops accepting, then gives

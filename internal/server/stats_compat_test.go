@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -145,6 +146,63 @@ func TestStatsNumericWithBreakerTripped(t *testing.T) {
 	for k, v := range raw { // the old binary's ParseInt loop, mid-outage
 		if _, err := strconv.ParseInt(v, 10, 64); err != nil {
 			t.Fatalf("v1 stat %q=%q is not numeric", k, v)
+		}
+	}
+}
+
+// TestStatsHistogramKeysV1Numeric sweeps the histogram-derived stats keys
+// through a v1 connection: every lat_* key (counts, sums, quantiles, raw
+// buckets) must be a base-10 integer an old binary's ParseInt loop accepts,
+// and traffic must actually surface them — the keys ride the same stats
+// response v1 clients have always parsed, so shipping a non-numeric or
+// missing key here would break the oldest deployed tooling first.
+func TestStatsHistogramKeysV1Numeric(t *testing.T) {
+	store, err := kvstore.Open(kvstore.Config{Workers: 1, MaintainEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(store, 1)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		store.Close()
+	})
+
+	c, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 8; i++ {
+		key := []byte("compat-key-" + strconv.Itoa(i))
+		if _, err := c.PutSimple(key, []byte("compat-value")); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.Get(key, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := c.StatsRaw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := 0
+	for k, v := range raw {
+		if _, err := strconv.ParseInt(v, 10, 64); err != nil {
+			t.Fatalf("v1 stat %q=%q is not numeric", k, v)
+		}
+		if strings.HasPrefix(k, "lat_") {
+			lat++
+		}
+	}
+	if lat == 0 {
+		t.Fatal("v1 stats carry no histogram keys")
+	}
+	for _, k := range []string{"lat_get_count", "lat_get_p50", "lat_get_p999", "lat_put_count"} {
+		if raw[k] == "" || raw[k] == "0" {
+			t.Fatalf("%s=%q after traffic, want non-zero", k, raw[k])
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/value"
 	"repro/internal/vfs"
 )
@@ -67,6 +68,12 @@ type Writer struct {
 	backoff      time.Duration
 	retryAt      time.Time
 	flushRetries atomic.Int64
+
+	// Observability hooks (both nil until Set.Observe): flush latency per
+	// non-empty flush, plus flight-recorder events for retries under backoff
+	// and outright failures. Guarded by fmu like the rest of the flush state.
+	obsHist *obs.Hist
+	obsRec  *obs.Recorder
 
 	flushCh chan struct{} // kicks the flusher
 	done    chan struct{}
@@ -287,6 +294,7 @@ func (w *Writer) flushLocked() error {
 		// A prior flush failed and its backoff window is (or was) pending:
 		// this attempt is a retry, whatever its outcome.
 		w.flushRetries.Add(1)
+		w.obsRec.Record(w.worker, obs.EvFlushRetry, uint64(w.worker), uint64(w.backoff))
 	}
 	if w.fbufOff < len(w.fbuf) {
 		// A previous flush failed; drain its remaining bytes first.
@@ -297,7 +305,18 @@ func (w *Writer) flushLocked() error {
 	w.mu.Lock()
 	w.buf, w.fbuf = w.fbuf[:0], w.buf
 	w.mu.Unlock()
-	return w.writeOut()
+	if len(w.fbuf) == 0 {
+		return nil // nothing new: an empty flush is not a latency sample
+	}
+	var start time.Time
+	if w.obsHist != nil {
+		start = time.Now()
+	}
+	err := w.writeOut()
+	if w.obsHist != nil {
+		w.obsHist.Record(w.worker, time.Since(start))
+	}
+	return err
 }
 
 // writeOut writes the flush buffer's unwritten tail to the file, retaining
@@ -359,6 +378,7 @@ func (w *Writer) noteErr(err error) error {
 		}
 	}
 	w.retryAt = time.Now().Add(w.backoff)
+	w.obsRec.Record(w.worker, obs.EvFlushError, uint64(w.worker), uint64(w.flushErrs.Load()))
 	return err
 }
 
@@ -498,6 +518,19 @@ func OpenSet(dir string, n int, gen uint64, syncWrites bool, flushEvery time.Dur
 
 // Writer returns worker i's log.
 func (s *Set) Writer(i int) *Writer { return s.writers[i%len(s.writers)] }
+
+// Observe arms flush instrumentation on every writer: h records each
+// non-empty flush's latency (by worker shard), rec traces flush retries and
+// failures. Either may be nil (that instrument stays off). Called once by
+// the store right after opening the set; safe against concurrent background
+// flushes.
+func (s *Set) Observe(h *obs.Hist, rec *obs.Recorder) {
+	for _, w := range s.writers {
+		w.fmu.Lock()
+		w.obsHist, w.obsRec = h, rec
+		w.fmu.Unlock()
+	}
+}
 
 // Workers returns the number of per-worker logs.
 func (s *Set) Workers() int { return len(s.writers) }
